@@ -1,0 +1,50 @@
+//! Criterion benchmarks behind Figure 5: MCMC proposal throughput with
+//! and without the early-termination acceptance computation of §4.5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stoke::{generate_testcases, Chain, CostFn, Rewrite};
+use stoke_bench::{spec_for, sweep_config};
+use stoke_workloads::hackers_delight;
+
+fn proposals(c: &mut Criterion) {
+    let kernel = hackers_delight::p14();
+    let spec = spec_for(&kernel);
+    let mut group = c.benchmark_group("mcmc");
+    group.sample_size(10);
+    for early in [true, false] {
+        let name = if early {
+            "synthesis_1000_proposals_early_termination"
+        } else {
+            "synthesis_1000_proposals_full_evaluation"
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = sweep_config(1_000, 1);
+                config.early_termination = early;
+                let suite = generate_testcases(&spec, config.num_testcases, 3);
+                let mut cost = CostFn::new(config, suite, spec.program.static_latency());
+                let mut chain = Chain::new(&mut cost, 5, false);
+                let start = Rewrite::empty(24);
+                chain.run(start, 1_000).proposals
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("optimization");
+    group.sample_size(10);
+    group.bench_function("p14_from_o0_1000_proposals", |b| {
+        b.iter(|| {
+            let config = sweep_config(1_000, 1);
+            let suite = generate_testcases(&spec, config.num_testcases, 3);
+            let mut cost = CostFn::new(config, suite, spec.program.static_latency());
+            let mut chain = Chain::new(&mut cost, 7, true);
+            let start = Rewrite::from_program(&spec.program, 24);
+            chain.run(start, 1_000).proposals
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, proposals);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks behind Figure 2 (validator vs emulator
+//! throughput) and Figure 3 (cost of the timing model): how many test-case
+//! evaluations, symbolic validations and cycle estimates per second the
+//! substrates sustain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stoke::generate_testcases;
+use stoke_bench::spec_for;
+use stoke_emu::{run, TimingModel};
+use stoke_verify::Validator;
+use stoke_workloads::hackers_delight;
+
+fn emulator_testcases(c: &mut Criterion) {
+    let kernel = hackers_delight::p14();
+    let spec = spec_for(&kernel);
+    let suite = generate_testcases(&spec, 32, 1);
+    let target = kernel.target_o0();
+    c.bench_function("emulator/p14_o0_32_testcases", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for case in &suite.cases {
+                total += run(&target, &case.input).state.read_gpr64(stoke_x86::Gpr::Rax);
+            }
+            total
+        })
+    });
+    let o3 = kernel.baseline_o3();
+    c.bench_function("emulator/p14_o3_32_testcases", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for case in &suite.cases {
+                total += run(&o3, &case.input).state.read_gpr64(stoke_x86::Gpr::Rax);
+            }
+            total
+        })
+    });
+}
+
+fn validator_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validator");
+    group.sample_size(10);
+    for kernel in [hackers_delight::p01(), hackers_delight::p14()] {
+        let target = kernel.baseline_o3();
+        let validator = Validator::new(kernel.live_out.clone());
+        group.bench_function(format!("{}_self_equivalence", kernel.name), |b| {
+            b.iter_batched(
+                || (target.clone(), target.clone()),
+                |(t, r)| validator.prove(&t, &r),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn timing_model(c: &mut Criterion) {
+    let kernel = stoke_workloads::kernels::montgomery();
+    let o0 = kernel.target_o0();
+    let model = TimingModel::default();
+    c.bench_function("timing_model/montgomery_o0", |b| b.iter(|| model.cycles(&o0)));
+}
+
+criterion_group!(benches, emulator_testcases, validator_queries, timing_model);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! Regenerate the figures and tables of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p stoke-bench --bin experiments -- <figure> [iterations]
+//! ```
+//!
+//! `<figure>` is one of `fig01`, `fig02`, `fig03`, `fig05`, `fig06`,
+//! `fig07`, `fig08`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `fig15`
+//! or `all`. Results are printed as tables and written as CSV files into
+//! `results/`. Budgets are scaled down from the paper's 30-minute,
+//! 40-machine cluster runs; pass a larger iteration count for closer
+//! reproduction.
+
+use std::fs;
+use std::io::Write as _;
+use std::time::Instant;
+use stoke::{generate_testcases, Chain, Config, CostFn, EqMetric, Rewrite};
+use stoke_bench::{run_kernel, spec_for, sweep_config};
+use stoke_emu::{run as emulate, TimingModel};
+use stoke_verify::Validator;
+use stoke_workloads::{all_kernels, hackers_delight, kernels};
+use stoke_x86::Program;
+
+fn results_file(name: &str) -> fs::File {
+    fs::create_dir_all("results").expect("create results dir");
+    fs::File::create(format!("results/{}", name)).expect("create results file")
+}
+
+/// Figure 1: the Montgomery multiplication case study.
+fn fig01() {
+    println!("== Figure 1: Montgomery multiplication ==");
+    let kernel = kernels::montgomery();
+    let o0 = kernel.target_o0();
+    let gcc: Program = kernels::MONT_GCC_O3.parse().unwrap();
+    let stoke_code: Program = kernels::MONT_STOKE.parse().unwrap();
+    let t = TimingModel::default();
+    println!("{:<18}{:>8}{:>10}{:>10}", "code", "instrs", "H (lat)", "cycles");
+    for (name, p) in [("llvm -O0 (ours)", &o0), ("gcc -O3 (paper)", &gcc), ("STOKE (paper)", &stoke_code)] {
+        println!("{:<18}{:>8}{:>10}{:>10}", name, p.len(), p.static_latency(), t.cycles(p));
+    }
+    println!(
+        "speedup of the STOKE code over the gcc -O3 code: {:.2}x (paper: 1.6x)",
+        t.cycles(&gcc) as f64 / t.cycles(&stoke_code) as f64
+    );
+}
+
+/// Figure 2: validations per second and test-case evaluations per second.
+fn fig02() {
+    println!("== Figure 2: validator vs emulator throughput ==");
+    let mut csv = results_file("fig02_throughput.csv");
+    writeln!(csv, "kernel,validations_per_sec,testcases_per_sec").unwrap();
+    let mut vals = Vec::new();
+    let mut evals = Vec::new();
+    for kernel in [hackers_delight::p01(), hackers_delight::p14(), hackers_delight::p21()] {
+        let target = kernel.baseline_o3();
+        // Validation throughput: prove the target against itself repeatedly.
+        let validator = Validator::new(kernel.live_out.clone());
+        let n = 5;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let _ = validator.prove(&target, &target);
+        }
+        let per_sec = n as f64 / t0.elapsed().as_secs_f64();
+        // Test-case evaluation throughput.
+        let spec = spec_for(&kernel);
+        let suite = generate_testcases(&spec, 32, 7);
+        let o0 = kernel.target_o0();
+        let t0 = Instant::now();
+        let mut count = 0u64;
+        for _ in 0..200 {
+            for case in &suite.cases {
+                let _ = emulate(&o0, &case.input);
+                count += 1;
+            }
+        }
+        let evals_per_sec = count as f64 / t0.elapsed().as_secs_f64();
+        println!("{:<8} {:>12.1} validations/s {:>14.0} testcases/s", kernel.name, per_sec, evals_per_sec);
+        writeln!(csv, "{},{:.1},{:.0}", kernel.name, per_sec, evals_per_sec).unwrap();
+        vals.push(per_sec);
+        evals.push(evals_per_sec);
+    }
+    let gap = evals.iter().sum::<f64>() / vals.iter().sum::<f64>();
+    println!("emulator / validator throughput ratio: {:.0}x (paper: >1000x)", gap);
+}
+
+/// Figure 3: static latency heuristic vs the timing model.
+fn fig03() {
+    println!("== Figure 3: predicted (static latency) vs actual (timing model) runtime ==");
+    let mut csv = results_file("fig03_latency_correlation.csv");
+    writeln!(csv, "kernel,level,predicted,actual").unwrap();
+    let t = TimingModel::default();
+    let mut points = Vec::new();
+    for kernel in all_kernels() {
+        for (level, program) in [
+            ("O0", kernel.target_o0()),
+            ("O2", kernel.baseline_o2()),
+            ("O3", kernel.baseline_o3()),
+        ] {
+            let predicted = program.static_latency();
+            let actual = t.cycles(&program);
+            writeln!(csv, "{},{},{},{}", kernel.name, level, predicted, actual).unwrap();
+            points.push((predicted as f64, actual as f64));
+        }
+    }
+    // Pearson correlation.
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
+    let vx = points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt();
+    let vy = points.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
+    println!("{} points, Pearson r = {:.3} (paper shows a strong but outlier-bearing correlation)", points.len(), cov / (vx * vy));
+}
+
+/// Figure 5: proposal throughput with and without early termination.
+fn fig05(iterations: u64) {
+    println!("== Figure 5: early-termination acceptance (proposals/s, testcases/proposal) ==");
+    let kernel = kernels::montgomery();
+    let spec = spec_for(&kernel);
+    let mut csv = results_file("fig05_early_termination.csv");
+    writeln!(csv, "early_termination,proposals_per_sec,testcases_per_proposal").unwrap();
+    for early in [false, true] {
+        let mut config = sweep_config(iterations, 1);
+        config.early_termination = early;
+        let suite = generate_testcases(&spec, config.num_testcases, config.seed);
+        let mut cost = CostFn::new(config.clone(), suite, spec.program.static_latency());
+        let mut chain = Chain::new(&mut cost, 1, false);
+        let start = chain.proposer_mut().random_rewrite();
+        let t0 = Instant::now();
+        let result = chain.run(start, iterations);
+        let secs = t0.elapsed().as_secs_f64();
+        let per_proposal = result.testcases_run as f64 / result.proposals as f64;
+        println!(
+            "early_termination={:<5} {:>10.0} proposals/s {:>6.2} testcases/proposal",
+            early,
+            result.proposals as f64 / secs,
+            per_proposal
+        );
+        writeln!(csv, "{},{:.0},{:.2}", early, result.proposals as f64 / secs, per_proposal).unwrap();
+    }
+}
+
+/// Figure 6/7: strict vs improved cost function during synthesis.
+fn fig07(iterations: u64) {
+    println!("== Figure 7: strict vs improved synthesis cost functions ==");
+    let kernel = hackers_delight::p14();
+    let spec = spec_for(&kernel);
+    let mut csv = results_file("fig07_cost_functions.csv");
+    writeln!(csv, "metric,iteration,cost").unwrap();
+    for (name, metric) in [("strict", EqMetric::Strict), ("improved", EqMetric::Improved)] {
+        let mut config = sweep_config(iterations, 1);
+        config.eq_metric = metric;
+        let suite = generate_testcases(&spec, config.num_testcases, config.seed);
+        let mut cost = CostFn::new(config, suite, spec.program.static_latency());
+        let mut chain = Chain::new(&mut cost, 42, false);
+        chain.trace_every = (iterations / 50).max(1);
+        let start = chain.proposer_mut().random_rewrite();
+        let result = chain.run(start, iterations);
+        for point in &result.trace {
+            writeln!(csv, "{},{},{}", name, point.iteration, point.cost).unwrap();
+        }
+        println!(
+            "{:<9} best cost {:>8.1} after {} proposals (zero-cost found: {})",
+            name,
+            result.best_cost,
+            result.proposals,
+            result.best_cost == 0.0
+        );
+    }
+}
+
+/// Figure 8: cost vs fraction of the final rewrite discovered.
+fn fig08(iterations: u64) {
+    println!("== Figure 8: cost function vs percentage of final code during synthesis ==");
+    let kernel = hackers_delight::p01();
+    let spec = spec_for(&kernel);
+    let config = sweep_config(iterations, 1);
+    let suite = generate_testcases(&spec, config.num_testcases, config.seed);
+    let mut cost = CostFn::new(config, suite, spec.program.static_latency());
+    let mut chain = Chain::new(&mut cost, 99, false);
+    chain.trace_every = (iterations / 60).max(1);
+    let start = Rewrite::empty(24);
+    let result = chain.run(start, iterations);
+    let final_instrs: Vec<String> =
+        result.best.to_program().iter().map(|i| i.to_string()).collect();
+    let mut csv = results_file("fig08_incremental.csv");
+    writeln!(csv, "iteration,cost,instructions").unwrap();
+    for point in &result.trace {
+        writeln!(csv, "{},{},{}", point.iteration, point.cost, point.instructions).unwrap();
+    }
+    println!(
+        "synthesis reached cost {:.1}; final rewrite has {} instructions",
+        result.best_cost,
+        final_instrs.len()
+    );
+}
+
+/// Figure 10 and Figure 12: the full kernel sweep (speedups and runtimes).
+fn fig10(iterations: u64, threads: usize) {
+    println!("== Figure 10 / Figure 12: speedups over llvm -O0 and search runtimes ==");
+    let mut csv = results_file("fig10_speedups.csv");
+    writeln!(csv, "kernel,star,o2_speedup,o3_speedup,stoke_speedup,synthesis_s,optimization_s,verified").unwrap();
+    let t = TimingModel::default();
+    println!(
+        "{:<8}{:>6}{:>10}{:>10}{:>10}{:>12}{:>12}  {}",
+        "kernel", "star", "icc -O3", "gcc -O3", "STOKE", "synth (s)", "opt (s)", "verified"
+    );
+    for kernel in all_kernels() {
+        let o0 = t.cycles(&kernel.target_o0()).max(1);
+        let o2 = t.cycles(&kernel.baseline_o2()).max(1);
+        let o3 = t.cycles(&kernel.baseline_o3()).max(1);
+        let result = run_kernel(&kernel, iterations, threads);
+        let stoke_speedup = o0 as f64 / result.rewrite_cycles.max(1) as f64;
+        println!(
+            "{:<8}{:>6}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>12.2}  {:?}",
+            kernel.name,
+            if kernel.star { "*" } else { "" },
+            o0 as f64 / o2 as f64,
+            o0 as f64 / o3 as f64,
+            stoke_speedup,
+            result.stats.synthesis_time.as_secs_f64(),
+            result.stats.optimization_time.as_secs_f64(),
+            result.verification
+        );
+        writeln!(
+            csv,
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:?}",
+            kernel.name,
+            kernel.star,
+            o0 as f64 / o2 as f64,
+            o0 as f64 / o3 as f64,
+            stoke_speedup,
+            result.stats.synthesis_time.as_secs_f64(),
+            result.stats.optimization_time.as_secs_f64(),
+            result.verification
+        )
+        .unwrap();
+    }
+}
+
+/// Figure 11: the MCMC parameter table.
+fn fig11() {
+    println!("== Figure 11: MCMC parameters ==");
+    let c = Config::default();
+    println!("wsf {:<6} pc {:<6} pu {:<6}", c.wsf, c.pc, c.pu);
+    println!("wfp {:<6} po {:<6} beta {:<6}", c.wfp, c.po, c.beta);
+    println!("wur {:<6} ps {:<6} ell {:<6}", c.wur, c.ps, c.ell);
+    println!("wm  {:<6} pi {:<6} testcases {}", c.wm, c.pi, c.num_testcases);
+}
+
+/// Figures 13/14/15: the case-study code listings.
+fn fig13_14_15() {
+    println!("== Figure 13: p21 (cycle through three values) ==");
+    let p21 = hackers_delight::p21();
+    println!("gcc -O3 stand-in:\n{}", p21.baseline_o3());
+    println!("STOKE rewrite (paper):\n{}", hackers_delight::P21_STOKE.trim());
+    println!("\n== Figure 14: SAXPY ==");
+    let saxpy = kernels::saxpy();
+    println!("gcc -O3 stand-in:\n{}", saxpy.baseline_o3());
+    println!("STOKE SSE rewrite (paper):\n{}", kernels::SAXPY_STOKE.trim());
+    println!("\n== Figure 15: linked-list traversal (loop-free fragment) ==");
+    let list = kernels::linked_list();
+    println!("llvm -O0 stand-in:\n{}", list.target_o0());
+    println!("STOKE rewrite (paper):\n{}", kernels::LIST_STOKE.trim());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let iterations: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let threads = 2;
+    match which {
+        "fig01" => fig01(),
+        "fig02" => fig02(),
+        "fig03" => fig03(),
+        "fig05" => fig05(iterations),
+        "fig06" | "fig07" => fig07(iterations),
+        "fig08" => fig08(iterations),
+        "fig10" | "fig12" => fig10(iterations, threads),
+        "fig11" => fig11(),
+        "fig13" | "fig14" | "fig15" => fig13_14_15(),
+        "all" => {
+            fig01();
+            fig11();
+            fig02();
+            fig03();
+            fig05(iterations);
+            fig07(iterations);
+            fig08(iterations);
+            fig13_14_15();
+            fig10(iterations, threads);
+        }
+        other => {
+            eprintln!("unknown experiment '{}'; see --help text in the source", other);
+            std::process::exit(1);
+        }
+    }
+}

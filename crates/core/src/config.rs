@@ -1,0 +1,190 @@
+//! Search configuration: the MCMC parameters of Figure 11 plus the knobs
+//! this reproduction adds (iteration budgets, thread counts, cost-function
+//! variants).
+
+use stoke_x86::{Gpr, Opcode};
+
+/// Which register-equality metric the cost function uses (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EqMetric {
+    /// Equation 9: Hamming distance between each live output register and
+    /// the same register of the rewrite.
+    Strict,
+    /// Equation 15: reward correct values in the wrong register by taking
+    /// the minimum distance over all same-width registers, plus a small
+    /// misplacement penalty `wm`.
+    Improved,
+}
+
+/// Configuration of a STOKE search.
+///
+/// The defaults reproduce Figure 11 of the paper:
+///
+/// | parameter | value | | parameter | value |
+/// |---|---|---|---|---|
+/// | `wsf` | 1 | | `pc` (opcode move) | 0.16 |
+/// | `wfp` | 1 | | `po` (operand move) | 0.5 |
+/// | `wur` | 2 | | `ps` (swap move) | 0.16 |
+/// | `wm` | 3 | | `pi` (instruction move) | 0.16 |
+/// | `β` | 0.1 | | `pu` (unused token) | 0.16 |
+/// | `ℓ` | 50 | | test cases | 32 |
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Weight of a segmentation fault in `err(·)`.
+    pub wsf: u64,
+    /// Weight of an arithmetic (floating point in the paper) exception.
+    pub wfp: u64,
+    /// Weight of a read from an undefined location.
+    pub wur: u64,
+    /// Misplacement penalty of the improved equality metric.
+    pub wm: u64,
+    /// Probability of an opcode move.
+    pub pc: f64,
+    /// Probability of an operand move.
+    pub po: f64,
+    /// Probability of a swap move.
+    pub ps: f64,
+    /// Probability of an instruction move.
+    pub pi: f64,
+    /// Probability that an instruction move proposes the `UNUSED` token.
+    pub pu: f64,
+    /// The annealing constant β of Equation 6.
+    pub beta: f64,
+    /// Rewrite length ℓ (number of instruction slots).
+    pub ell: usize,
+    /// Number of test cases generated per target.
+    pub num_testcases: usize,
+    /// Which register equality metric to use.
+    pub eq_metric: EqMetric,
+    /// Whether to use the early-termination acceptance computation (§4.5).
+    pub early_termination: bool,
+    /// Weight of the performance term during optimization (the correctness
+    /// term is measured in bits, so latency is scaled to stay comparable).
+    pub perf_weight: f64,
+    /// Number of proposals evaluated per synthesis run.
+    pub synthesis_iterations: u64,
+    /// Number of proposals evaluated per optimization run.
+    pub optimization_iterations: u64,
+    /// Number of parallel synthesis/optimization chains.
+    pub threads: usize,
+    /// Candidates within this factor of the best cost are re-ranked by the
+    /// timing model (the paper keeps everything within 20%).
+    pub rerank_margin: f64,
+    /// RNG seed (searches are deterministic given the seed).
+    pub seed: u64,
+    /// The opcode universe sampled by instruction/opcode moves.
+    pub opcode_pool: Vec<Opcode>,
+    /// The constant pool sampled for immediate operands.
+    pub immediate_pool: Vec<i64>,
+    /// Registers eligible as random operands. `rsp` is excluded by default
+    /// so that random rewrites do not trample the stack engine.
+    pub register_pool: Vec<Gpr>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            wsf: 1,
+            wfp: 1,
+            wur: 2,
+            wm: 3,
+            pc: 0.16,
+            po: 0.5,
+            ps: 0.16,
+            pi: 0.16,
+            pu: 0.16,
+            beta: 0.1,
+            ell: 50,
+            num_testcases: 32,
+            eq_metric: EqMetric::Improved,
+            early_termination: true,
+            perf_weight: 1.0,
+            synthesis_iterations: 200_000,
+            optimization_iterations: 200_000,
+            threads: 4,
+            rerank_margin: 1.2,
+            seed: 0x5704e_2013,
+            opcode_pool: Opcode::all(),
+            immediate_pool: vec![
+                0,
+                1,
+                -1,
+                2,
+                3,
+                4,
+                7,
+                8,
+                15,
+                16,
+                31,
+                32,
+                63,
+                64,
+                0xff,
+                0xffff,
+                0x7fff_ffff,
+                0xffff_ffff,
+                0x1_0000_0000,
+                i64::MIN,
+                i64::MAX,
+            ],
+            register_pool: Gpr::ALL.iter().copied().filter(|g| *g != Gpr::Rsp).collect(),
+        }
+    }
+}
+
+impl Config {
+    /// A configuration scaled down for unit tests and doc examples: short
+    /// rewrites, few test cases, few iterations, a single thread.
+    pub fn quick_test() -> Config {
+        Config {
+            ell: 8,
+            num_testcases: 8,
+            synthesis_iterations: 20_000,
+            optimization_iterations: 20_000,
+            threads: 1,
+            ..Config::default()
+        }
+    }
+
+    /// Move probabilities as a cumulative distribution, normalized.
+    pub(crate) fn move_cdf(&self) -> [f64; 4] {
+        let total = self.pc + self.po + self.ps + self.pi;
+        let pc = self.pc / total;
+        let po = self.po / total;
+        let ps = self.ps / total;
+        [pc, pc + po, pc + po + ps, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure_11() {
+        let c = Config::default();
+        assert_eq!((c.wsf, c.wfp, c.wur, c.wm), (1, 1, 2, 3));
+        assert_eq!(c.ell, 50);
+        assert_eq!(c.num_testcases, 32);
+        assert!((c.beta - 0.1).abs() < 1e-12);
+        assert!((c.pc - 0.16).abs() < 1e-12);
+        assert!((c.po - 0.5).abs() < 1e-12);
+        assert!((c.ps - 0.16).abs() < 1e-12);
+        assert!((c.pi - 0.16).abs() < 1e-12);
+        assert!((c.pu - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_cdf_is_monotone_and_normalized() {
+        let cdf = Config::default().move_cdf();
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pool_excludes_rsp() {
+        assert!(!Config::default().register_pool.contains(&Gpr::Rsp));
+        assert_eq!(Config::default().register_pool.len(), 15);
+    }
+}

@@ -1,0 +1,319 @@
+//! The cost function: test-case based correctness (`eq'`, Equation 8),
+//! undefined-behaviour penalties (`err`, Equation 11), the improved
+//! register equality metric (Equation 15), and the static performance
+//! term (`perf`, Equation 13).
+
+use crate::config::{Config, EqMetric};
+use crate::testcase::{Testcase, TestSuite};
+use stoke_emu::{run_instrs, Faults, MachineState};
+use stoke_x86::{Gpr, Instruction};
+
+/// The correctness-related cost of one rewrite on one test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaseCost {
+    /// Register Hamming distance term (`reg` / `reg'`).
+    pub reg: u64,
+    /// Memory Hamming distance term (`mem`).
+    pub mem: u64,
+    /// Undefined behaviour term (`err`).
+    pub err: u64,
+}
+
+impl CaseCost {
+    /// Total cost contributed by the case.
+    pub fn total(&self) -> u64 {
+        self.reg + self.mem + self.err
+    }
+}
+
+/// Statistics accumulated while evaluating rewrites (used for Figures 2
+/// and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Number of test cases executed.
+    pub testcases_run: u64,
+    /// Number of rewrite evaluations requested.
+    pub evaluations: u64,
+    /// Number of evaluations cut short by the early-termination bound.
+    pub early_terminations: u64,
+}
+
+/// The cost function of §4: `c(R; T) = eq'(R; T, τ) + perf_weight · H(R)`.
+#[derive(Debug, Clone)]
+pub struct CostFn {
+    config: Config,
+    suite: TestSuite,
+    /// Static latency of the target, kept for reporting speedups.
+    pub target_latency: u64,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl CostFn {
+    /// Build a cost function from a configuration and a test suite.
+    pub fn new(config: Config, suite: TestSuite, target_latency: u64) -> CostFn {
+        CostFn { config, suite, target_latency, stats: EvalStats::default() }
+    }
+
+    /// The test suite (e.g. to add validator counterexamples).
+    pub fn suite(&self) -> &TestSuite {
+        &self.suite
+    }
+
+    /// Mutable access to the test suite.
+    pub fn suite_mut(&mut self) -> &mut TestSuite {
+        &mut self.suite
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to switch the equality
+    /// metric or toggle early termination between experiments).
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// The `err(·)` term (Equation 11).
+    pub fn err_term(&self, faults: &Faults) -> u64 {
+        self.config.wsf * faults.sigsegv + self.config.wfp * faults.sigfpe + self.config.wur * faults.undef
+    }
+
+    /// The register distance term for one test case: strict (Equation 9)
+    /// or improved (Equation 15) depending on the configuration.
+    pub fn reg_term(&self, case: &Testcase, rewrite_out: &MachineState) -> u64 {
+        let mut total = 0u64;
+        for g in &self.suite.live_out.gprs {
+            let want = case.target_output.read_gpr64(*g);
+            match self.config.eq_metric {
+                EqMetric::Strict => {
+                    let got = rewrite_out.read_gpr64(*g);
+                    total += u64::from((want ^ got).count_ones());
+                }
+                EqMetric::Improved => {
+                    let mut best = u64::from((want ^ rewrite_out.read_gpr64(*g)).count_ones());
+                    for other in Gpr::ALL {
+                        let d = u64::from((want ^ rewrite_out.read_gpr64(other)).count_ones())
+                            + if other == *g { 0 } else { self.config.wm };
+                        best = best.min(d);
+                    }
+                    total += best;
+                }
+            }
+        }
+        for x in &self.suite.live_out.xmms {
+            let want = case.target_output.read_xmm(*x);
+            match self.config.eq_metric {
+                EqMetric::Strict => {
+                    let got = rewrite_out.read_xmm(*x);
+                    total += u64::from((want[0] ^ got[0]).count_ones())
+                        + u64::from((want[1] ^ got[1]).count_ones());
+                }
+                EqMetric::Improved => {
+                    let dist = |got: [u64; 2]| {
+                        u64::from((want[0] ^ got[0]).count_ones())
+                            + u64::from((want[1] ^ got[1]).count_ones())
+                    };
+                    let mut best = dist(rewrite_out.read_xmm(*x));
+                    for other in stoke_x86::Xmm::ALL {
+                        let d = dist(rewrite_out.read_xmm(other))
+                            + if other == *x { 0 } else { self.config.wm };
+                        best = best.min(d);
+                    }
+                    total += best;
+                }
+            }
+        }
+        for f in &self.suite.live_out.flags {
+            let want = case.target_output.read_flag(*f);
+            let got = rewrite_out.read_flag(*f);
+            total += u64::from(want != got);
+        }
+        total
+    }
+
+    /// The memory distance term for one test case: Hamming distance over
+    /// every byte written by either the target or the rewrite (unwritten
+    /// sandbox bytes are identical by construction). This is the strict
+    /// metric; the improved variant is only applied to registers in this
+    /// reproduction.
+    pub fn mem_term(&self, case: &Testcase, rewrite_out: &MachineState) -> u64 {
+        let in_scratch = |addr: u64| {
+            self.suite
+                .scratch
+                .map(|(start, len)| addr >= start && addr < start + len)
+                .unwrap_or(false)
+        };
+        let mut total = 0u64;
+        for (addr, want) in case.target_output.memory.iter() {
+            if in_scratch(addr) {
+                continue;
+            }
+            let got = rewrite_out.memory.peek(addr);
+            total += u64::from((want ^ got).count_ones());
+        }
+        // Bytes the rewrite wrote at addresses the target never touched
+        // (their expected value is the unwritten default, zero).
+        let target_keys: std::collections::BTreeSet<u64> =
+            case.target_output.memory.iter().map(|(a, _)| a).collect();
+        for (addr, got) in rewrite_out.memory.iter() {
+            if !target_keys.contains(&addr) && !in_scratch(addr) {
+                total += u64::from(got.count_ones());
+            }
+        }
+        total
+    }
+
+    /// Evaluate `eq'` on a single test case.
+    pub fn case_cost(&self, case: &Testcase, rewrite: &[Instruction]) -> CaseCost {
+        let outcome = run_instrs(rewrite, &case.input);
+        CaseCost {
+            reg: self.reg_term(case, &outcome.state),
+            mem: self.mem_term(case, &outcome.state),
+            err: self.err_term(&outcome.faults),
+        }
+    }
+
+    /// Evaluate the full correctness term `eq'(R; T, τ)` (Equation 8).
+    pub fn eq_prime(&mut self, rewrite: &[Instruction]) -> u64 {
+        self.stats.evaluations += 1;
+        let mut total = 0u64;
+        for case in &self.suite.cases {
+            self.stats.testcases_run += 1;
+            total += self.case_cost(case, rewrite).total();
+        }
+        total
+    }
+
+    /// The performance term: the static latency heuristic `H(R)` of
+    /// Equation 13, weighted by the configuration.
+    pub fn perf_term(&self, rewrite: &[Instruction]) -> f64 {
+        let h: u64 = rewrite.iter().map(|i| u64::from(i.latency())).sum();
+        self.config.perf_weight * h as f64
+    }
+
+    /// The full cost used by the optimization phase.
+    pub fn full_cost(&mut self, rewrite: &[Instruction]) -> f64 {
+        self.eq_prime(rewrite) as f64 + self.perf_term(rewrite)
+    }
+
+    /// Evaluate `eq'` but stop as soon as the running sum exceeds `bound`
+    /// (the early-termination optimization of §4.5). Returns `None` when
+    /// the bound was exceeded — the proposal is guaranteed to be rejected.
+    /// Also returns the number of test cases evaluated.
+    pub fn eq_prime_bounded(&mut self, rewrite: &[Instruction], bound: f64) -> (Option<u64>, usize) {
+        self.stats.evaluations += 1;
+        let mut total = 0u64;
+        for (i, case) in self.suite.cases.iter().enumerate() {
+            self.stats.testcases_run += 1;
+            total += self.case_cost(case, rewrite).total();
+            if (total as f64) > bound {
+                self.stats.early_terminations += 1;
+                return (None, i + 1);
+            }
+        }
+        (Some(total), self.suite.cases.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{generate_testcases, TargetSpec};
+    use stoke_x86::Program;
+
+    fn setup(metric: EqMetric) -> (CostFn, Program) {
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+        let suite = generate_testcases(&spec, 8, 42);
+        let config = Config { eq_metric: metric, ..Config::quick_test() };
+        let latency = target.static_latency();
+        (CostFn::new(config, suite, latency), target)
+    }
+
+    #[test]
+    fn correct_rewrite_has_zero_eq() {
+        let (mut cost, target) = setup(EqMetric::Improved);
+        assert_eq!(cost.eq_prime(target.instrs()), 0);
+        let equivalent: Program = "leaq (rdi,rsi,1), rax".parse().unwrap();
+        assert_eq!(cost.eq_prime(equivalent.instrs()), 0);
+    }
+
+    #[test]
+    fn wrong_rewrite_has_positive_eq() {
+        let (mut cost, _) = setup(EqMetric::Improved);
+        let wrong: Program = "movq rdi, rax\nsubq rsi, rax".parse().unwrap();
+        assert!(cost.eq_prime(wrong.instrs()) > 0);
+        let empty: Program = Program::new();
+        assert!(cost.eq_prime(empty.instrs()) > 0);
+    }
+
+    #[test]
+    fn improved_metric_rewards_value_in_wrong_register() {
+        // Figure 6: the correct value lands in rbx instead of rax.
+        let (mut strict, _) = setup(EqMetric::Strict);
+        let (mut improved, _) = setup(EqMetric::Improved);
+        let misplaced: Program = "movq rdi, rbx\naddq rsi, rbx".parse().unwrap();
+        let s = strict.eq_prime(misplaced.instrs());
+        let i = improved.eq_prime(misplaced.instrs());
+        assert!(i < s, "improved ({}) must be cheaper than strict ({})", i, s);
+        // The improved cost is exactly wm per test case (value present but
+        // misplaced), while the strict cost is the full Hamming distance.
+        assert_eq!(i, improved.config().wm * improved.suite().len() as u64);
+    }
+
+    #[test]
+    fn err_term_weights_faults() {
+        let (cost, _) = setup(EqMetric::Improved);
+        let faults = Faults { sigsegv: 2, sigfpe: 1, undef: 3 };
+        assert_eq!(cost.err_term(&faults), 2 * 1 + 1 * 1 + 3 * 2);
+    }
+
+    #[test]
+    fn undefined_reads_are_penalized() {
+        let (mut cost, _) = setup(EqMetric::Improved);
+        // r11 is never defined in the test cases.
+        let uses_undef: Program = "movq r11, rax\nmovq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let clean: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        assert!(cost.eq_prime(uses_undef.instrs()) > cost.eq_prime(clean.instrs()));
+    }
+
+    #[test]
+    fn perf_term_prefers_shorter_code() {
+        let (cost, target) = setup(EqMetric::Improved);
+        let shorter: Program = "leaq (rdi,rsi,1), rax".parse().unwrap();
+        assert!(cost.perf_term(shorter.instrs()) < cost.perf_term(target.instrs()));
+    }
+
+    #[test]
+    fn early_termination_stops_early() {
+        let (mut cost, _) = setup(EqMetric::Improved);
+        let wrong: Program = "movq 0, rax".parse().unwrap();
+        let (res, evaluated) = cost.eq_prime_bounded(wrong.instrs(), 5.0);
+        assert!(res.is_none());
+        assert!(evaluated < cost.suite().len(), "should stop before all {} cases", cost.suite().len());
+        assert_eq!(cost.stats.early_terminations, 1);
+        // A permissive bound evaluates everything.
+        let (res, evaluated) = cost.eq_prime_bounded(wrong.instrs(), 1e18);
+        assert!(res.is_some());
+        assert_eq!(evaluated, cost.suite().len());
+    }
+
+    #[test]
+    fn memory_term_compares_stores() {
+        use crate::testcase::InputSpec;
+        let target: Program = "movl esi, (rdi)".parse().unwrap();
+        let spec = TargetSpec::new(
+            target.clone(),
+            vec![InputSpec::pointer(Gpr::Rdi, 4), InputSpec::value32(Gpr::Rsi)],
+            stoke_x86::flow::LocSet::new(),
+        );
+        let suite = generate_testcases(&spec, 4, 9);
+        let mut cost = CostFn::new(Config::quick_test(), suite, target.static_latency());
+        assert_eq!(cost.eq_prime(target.instrs()), 0);
+        let wrong: Program = "movl 0, (rdi)".parse().unwrap();
+        assert!(cost.eq_prime(wrong.instrs()) > 0);
+    }
+}

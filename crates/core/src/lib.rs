@@ -1,0 +1,47 @@
+//! # stoke
+//!
+//! A reproduction of **"Stochastic Superoptimization"** (Schkufza, Sharma,
+//! Aiken — ASPLOS 2013): loop-free binary superoptimization formulated as
+//! stochastic cost minimization and explored with a Metropolis–Hastings
+//! sampler.
+//!
+//! The crate provides the search layer: test-case generation
+//! ([`testcase`]), the cost function with the strict and improved equality
+//! metrics ([`cost`]), the four proposal moves and the MCMC chain with
+//! early-termination acceptance ([`mcmc`]), and the full
+//! synthesis → optimization → validation → re-ranking pipeline
+//! ([`search`], Figure 9 of the paper). The execution and verification
+//! substrates live in the companion crates `stoke-emu` and `stoke-verify`.
+//!
+//! ```
+//! use stoke::{Config, Stoke, TargetSpec};
+//! use stoke_x86::{Gpr, Program};
+//!
+//! // A clumsy `llvm -O0`-style computation of rax = rdi + rsi.
+//! let target: Program = "
+//!     movq rdi, rbx
+//!     movq rbx, rax
+//!     addq rsi, rax
+//! ".parse().unwrap();
+//! let spec = TargetSpec::with_gprs(target, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+//! let mut config = Config::quick_test();
+//! config.synthesis_iterations = 1_000;
+//! config.optimization_iterations = 5_000;
+//! let result = Stoke::new(config, spec).run();
+//! assert!(result.speedup() >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod cost;
+pub mod mcmc;
+pub mod search;
+pub mod testcase;
+
+pub use config::{Config, EqMetric};
+pub use cost::{CaseCost, CostFn, EvalStats};
+pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, TracePoint};
+pub use search::{SearchStats, Stoke, StokeResult, Verification};
+pub use testcase::{generate_testcases, InputKind, InputSpec, TargetSpec, TestSuite, Testcase};

@@ -1,0 +1,543 @@
+//! The MCMC sampler: rewrite representation, the four proposal moves of
+//! §4.3 (opcode, operand, swap, instruction), and the Metropolis–Hastings
+//! chain with the early-termination acceptance computation of §4.5.
+
+use crate::config::Config;
+use crate::cost::CostFn;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use stoke_x86::{
+    Instruction, Mem, OpcodeClasses, Operand, OperandKind, Program, Scale, SlotSpec, Width,
+};
+
+/// A candidate rewrite: a fixed number ℓ of instruction slots, each either
+/// an instruction or the distinguished `UNUSED` token. Fixing ℓ keeps the
+/// dimensionality of the search space constant, which the MCMC
+/// formulation requires (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    slots: Vec<Option<Instruction>>,
+}
+
+impl Rewrite {
+    /// A rewrite with every slot `UNUSED`.
+    pub fn empty(ell: usize) -> Rewrite {
+        Rewrite { slots: vec![None; ell] }
+    }
+
+    /// A rewrite that starts as an existing program padded with `UNUSED`
+    /// slots up to length ℓ (the starting point of the optimization
+    /// phase).
+    pub fn from_program(program: &Program, ell: usize) -> Rewrite {
+        let mut slots: Vec<Option<Instruction>> =
+            program.iter().take(ell).cloned().map(Some).collect();
+        slots.resize(ell.max(slots.len()), None);
+        Rewrite { slots }
+    }
+
+    /// The slots.
+    pub fn slots(&self) -> &[Option<Instruction>] {
+        &self.slots
+    }
+
+    /// Number of slots (ℓ).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether every slot is `UNUSED`.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Number of non-`UNUSED` slots.
+    pub fn num_instructions(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The dense program obtained by dropping `UNUSED` slots.
+    pub fn to_program(&self) -> Program {
+        self.slots.iter().flatten().cloned().collect()
+    }
+
+    /// The dense instruction sequence (borrowed clone).
+    pub fn instructions(&self) -> Vec<Instruction> {
+        self.slots.iter().flatten().cloned().collect()
+    }
+}
+
+/// The four proposal move kinds (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoveKind {
+    /// Replace an opcode with one from the same equivalence class.
+    Opcode,
+    /// Replace an operand with one of the same kind.
+    Operand,
+    /// Interchange two instruction slots.
+    Swap,
+    /// Replace a slot with a random instruction or `UNUSED`.
+    Instruction,
+}
+
+/// Samples proposals from the distribution `q(·)` of §4.3.
+pub struct Proposer {
+    config: Config,
+    classes: OpcodeClasses,
+    rng: StdRng,
+}
+
+impl Proposer {
+    /// Create a proposer.
+    pub fn new(config: Config, seed: u64) -> Proposer {
+        let classes = OpcodeClasses::with_universe(config.opcode_pool.clone());
+        Proposer { config, classes, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Access the random number generator (shared with the chain).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A uniformly random rewrite of length ℓ (the starting point of the
+    /// synthesis phase).
+    pub fn random_rewrite(&mut self) -> Rewrite {
+        let ell = self.config.ell;
+        let mut r = Rewrite::empty(ell);
+        for slot in 0..ell {
+            if self.rng.gen::<f64>() < self.config.pu {
+                continue;
+            }
+            r.slots[slot] = Some(self.random_instruction());
+        }
+        r
+    }
+
+    fn random_reg(&mut self, w: Width) -> Operand {
+        let g = *self.config.register_pool.choose(&mut self.rng).expect("non-empty register pool");
+        Operand::Reg(g.view(w))
+    }
+
+    fn random_xmm(&mut self) -> Operand {
+        Operand::Xmm(stoke_x86::Xmm(self.rng.gen_range(0..16)))
+    }
+
+    fn random_imm(&mut self) -> Operand {
+        Operand::Imm(*self.config.immediate_pool.choose(&mut self.rng).unwrap_or(&0))
+    }
+
+    fn random_mem(&mut self) -> Operand {
+        let base = *self.config.register_pool.choose(&mut self.rng).expect("non-empty pool");
+        let with_index = self.rng.gen_bool(0.3);
+        let index = if with_index {
+            Some(*self.config.register_pool.choose(&mut self.rng).unwrap())
+        } else {
+            None
+        };
+        let scale = *[Scale::S1, Scale::S2, Scale::S4, Scale::S8].choose(&mut self.rng).unwrap();
+        let disp = *[-16i32, -8, -4, 0, 4, 8, 16, 32].choose(&mut self.rng).unwrap();
+        Operand::Mem(Mem { base: Some(base), index, scale, disp })
+    }
+
+    /// A random operand acceptable in `slot`, with the same kind
+    /// distribution used when undoing the move (register-preferred).
+    fn random_operand_for_slot(&mut self, spec: &SlotSpec) -> Operand {
+        // Collect the admissible kinds and pick one uniformly.
+        let mut kinds: Vec<u8> = Vec::new();
+        if spec.reg.is_some() {
+            kinds.push(0);
+        }
+        if spec.imm {
+            kinds.push(1);
+        }
+        if spec.mem {
+            kinds.push(2);
+        }
+        if spec.xmm {
+            kinds.push(3);
+        }
+        match kinds.choose(&mut self.rng) {
+            Some(0) => self.random_reg(spec.reg.expect("checked")),
+            Some(1) => self.random_imm(),
+            Some(2) => self.random_mem(),
+            Some(3) => self.random_xmm(),
+            _ => Operand::Imm(0),
+        }
+    }
+
+    /// A random operand of the *same kind* as `old` (the operand move's
+    /// equivalence class).
+    fn random_operand_same_kind(&mut self, old: &Operand) -> Operand {
+        match old.kind() {
+            OperandKind::Reg(w) => self.random_reg(w),
+            OperandKind::Imm => self.random_imm(),
+            OperandKind::Mem => self.random_mem(),
+            OperandKind::Xmm => self.random_xmm(),
+        }
+    }
+
+    /// A completely random instruction (used by the instruction move and
+    /// by synthesis initialization).
+    pub fn random_instruction(&mut self) -> Instruction {
+        loop {
+            let opcode = *self
+                .classes
+                .universe()
+                .choose(&mut self.rng)
+                .expect("non-empty opcode universe");
+            let sig = opcode.signature();
+            let operands: Vec<Operand> =
+                sig.iter().map(|s| self.random_operand_for_slot(s)).collect();
+            // Reject the rare invalid combination (two memory operands).
+            if let Ok(instr) = Instruction::new(opcode, operands) {
+                return instr;
+            }
+        }
+    }
+
+    /// Propose a modified rewrite (the proposal `R*` of §3.2). Returns the
+    /// new rewrite and the move kind that produced it.
+    pub fn propose(&mut self, current: &Rewrite) -> (Rewrite, MoveKind) {
+        let cdf = self.config.move_cdf();
+        let u = self.rng.gen::<f64>();
+        let kind = if u < cdf[0] {
+            MoveKind::Opcode
+        } else if u < cdf[1] {
+            MoveKind::Operand
+        } else if u < cdf[2] {
+            MoveKind::Swap
+        } else {
+            MoveKind::Instruction
+        };
+        let mut next = current.clone();
+        match kind {
+            MoveKind::Opcode => {
+                if let Some(slot) = self.random_filled_slot(current) {
+                    let instr = current.slots[slot].as_ref().expect("filled slot");
+                    let class = self.classes.class_of(instr).to_vec();
+                    if let Some(op) = class.choose(&mut self.rng) {
+                        next.slots[slot] = Some(instr.with_opcode(*op));
+                    }
+                }
+            }
+            MoveKind::Operand => {
+                if let Some(slot) = self.random_filled_slot(current) {
+                    let instr = current.slots[slot].as_ref().expect("filled slot");
+                    if !instr.operands().is_empty() {
+                        let oi = self.rng.gen_range(0..instr.operands().len());
+                        let new_operand = self.random_operand_same_kind(&instr.operands()[oi]);
+                        let candidate = instr.with_operand(oi, new_operand);
+                        // Keep the single-memory-operand invariant.
+                        if Instruction::new(candidate.opcode(), candidate.operands().to_vec())
+                            .is_ok()
+                        {
+                            next.slots[slot] = Some(candidate);
+                        }
+                    }
+                }
+            }
+            MoveKind::Swap => {
+                let a = self.rng.gen_range(0..current.len());
+                let b = self.rng.gen_range(0..current.len());
+                next.slots.swap(a, b);
+            }
+            MoveKind::Instruction => {
+                let slot = self.rng.gen_range(0..current.len());
+                if self.rng.gen::<f64>() < self.config.pu {
+                    next.slots[slot] = None;
+                } else {
+                    next.slots[slot] = Some(self.random_instruction());
+                }
+            }
+        }
+        (next, kind)
+    }
+
+    fn random_filled_slot(&mut self, r: &Rewrite) -> Option<usize> {
+        let filled: Vec<usize> =
+            (0..r.len()).filter(|i| r.slots[*i].is_some()).collect();
+        filled.choose(&mut self.rng).copied()
+    }
+}
+
+/// A record of one accepted or rejected proposal, for experiment traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Proposal index.
+    pub iteration: u64,
+    /// Cost of the current rewrite after the proposal was processed.
+    pub cost: f64,
+    /// Number of non-`UNUSED` instructions in the current rewrite.
+    pub instructions: usize,
+}
+
+/// Outcome of running a Markov chain.
+#[derive(Debug, Clone)]
+pub struct ChainResult {
+    /// The lowest-cost rewrite seen.
+    pub best: Rewrite,
+    /// Its cost.
+    pub best_cost: f64,
+    /// The current rewrite at the end of the run.
+    pub last: Rewrite,
+    /// Proposals evaluated.
+    pub proposals: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Evolution of the cost function (sampled sparsely).
+    pub trace: Vec<TracePoint>,
+    /// Test cases executed (for Figure 2 / Figure 5 style reporting).
+    pub testcases_run: u64,
+}
+
+/// The Metropolis–Hastings chain of §3.2/§4.5.
+pub struct Chain<'a> {
+    cost_fn: &'a mut CostFn,
+    proposer: Proposer,
+    /// Whether the performance term is included (optimization phase) or
+    /// not (synthesis phase).
+    pub use_perf: bool,
+    /// How often (in proposals) a trace point is recorded; 0 disables
+    /// tracing.
+    pub trace_every: u64,
+}
+
+impl<'a> Chain<'a> {
+    /// Create a chain over a cost function.
+    pub fn new(cost_fn: &'a mut CostFn, seed: u64, use_perf: bool) -> Chain<'a> {
+        let config = cost_fn.config().clone();
+        Chain { cost_fn, proposer: Proposer::new(config, seed), use_perf, trace_every: 0 }
+    }
+
+    /// Access the proposer (e.g. to draw a random starting rewrite).
+    pub fn proposer_mut(&mut self) -> &mut Proposer {
+        &mut self.proposer
+    }
+
+    fn cost_of(&mut self, rewrite: &Rewrite) -> f64 {
+        let instrs = rewrite.instructions();
+        let eq = self.cost_fn.eq_prime(&instrs) as f64;
+        if self.use_perf {
+            eq + self.cost_fn.perf_term(&instrs)
+        } else {
+            eq
+        }
+    }
+
+    /// Run the chain for `iterations` proposals starting from `start`.
+    pub fn run(&mut self, start: Rewrite, iterations: u64) -> ChainResult {
+        let config = self.cost_fn.config().clone();
+        let mut current = start;
+        let mut current_cost = self.cost_of(&current);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut accepted = 0u64;
+        let mut proposals = 0u64;
+        let mut trace = Vec::new();
+        let start_testcases = self.cost_fn.stats.testcases_run;
+
+        for iteration in 0..iterations {
+            proposals += 1;
+            let (candidate, _kind) = self.proposer.propose(&current);
+            let accept = if config.early_termination {
+                // §4.5: sample the acceptance threshold p first, derive the
+                // maximum cost we could accept, and stop evaluating test
+                // cases as soon as the bound is exceeded.
+                let p: f64 = self.proposer.rng().gen::<f64>().max(1e-300);
+                let bound = current_cost - p.ln() / config.beta;
+                let instrs = candidate.instructions();
+                let perf = if self.use_perf { self.cost_fn.perf_term(&instrs) } else { 0.0 };
+                let eq_bound = bound - perf;
+                if eq_bound < 0.0 {
+                    None
+                } else {
+                    let (eq, _) = self.cost_fn.eq_prime_bounded(&instrs, eq_bound);
+                    eq.map(|e| e as f64 + perf)
+                }
+            } else {
+                let cost = self.cost_of(&candidate);
+                let delta = cost - current_cost;
+                let p: f64 = self.proposer.rng().gen();
+                if delta <= 0.0 || p < (-config.beta * delta).exp() {
+                    Some(cost)
+                } else {
+                    None
+                }
+            };
+            if let Some(cost) = accept {
+                current = candidate;
+                current_cost = cost;
+                accepted += 1;
+                if cost < best_cost {
+                    best = current.clone();
+                    best_cost = cost;
+                }
+            }
+            if self.trace_every > 0 && iteration % self.trace_every == 0 {
+                trace.push(TracePoint {
+                    iteration,
+                    cost: current_cost,
+                    instructions: current.num_instructions(),
+                });
+            }
+            // Stop a pure-synthesis run as soon as a zero-cost rewrite is
+            // found; further proposals cannot improve it.
+            if !self.use_perf && best_cost == 0.0 {
+                break;
+            }
+        }
+        ChainResult {
+            best,
+            best_cost,
+            last: current,
+            proposals,
+            accepted,
+            trace,
+            testcases_run: self.cost_fn.stats.testcases_run - start_testcases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{generate_testcases, TargetSpec};
+    use stoke_x86::Gpr;
+
+    fn cost_fn() -> CostFn {
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+        let suite = generate_testcases(&spec, 8, 1);
+        CostFn::new(Config::quick_test(), suite, target.static_latency())
+    }
+
+    #[test]
+    fn rewrite_roundtrips_through_program() {
+        let p: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let r = Rewrite::from_program(&p, 10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.num_instructions(), 2);
+        assert_eq!(r.to_program(), p);
+    }
+
+    #[test]
+    fn proposals_preserve_length_and_validity() {
+        let mut cf = cost_fn();
+        let mut chain = Chain::new(&mut cf, 3, false);
+        let mut r = chain.proposer_mut().random_rewrite();
+        for _ in 0..2000 {
+            let (next, _) = chain.proposer_mut().propose(&r);
+            assert_eq!(next.len(), r.len());
+            // Every filled slot must be a valid instruction.
+            for slot in next.slots().iter().flatten() {
+                assert!(
+                    Instruction::new(slot.opcode(), slot.operands().to_vec()).is_ok(),
+                    "invalid instruction proposed: {}",
+                    slot
+                );
+            }
+            r = next;
+        }
+    }
+
+    #[test]
+    fn all_move_kinds_are_exercised() {
+        let mut cf = cost_fn();
+        let mut chain = Chain::new(&mut cf, 11, false);
+        let r = chain.proposer_mut().random_rewrite();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let (_, kind) = chain.proposer_mut().propose(&r);
+            seen.insert(kind);
+        }
+        assert_eq!(seen.len(), 4, "expected all four move kinds, saw {:?}", seen);
+    }
+
+    #[test]
+    fn chain_improves_cost_from_random_start() {
+        let mut cf = cost_fn();
+        let mut chain = Chain::new(&mut cf, 5, false);
+        let start = chain.proposer_mut().random_rewrite();
+        let start_cost = {
+            let instrs = start.instructions();
+            chain.cost_fn.eq_prime(&instrs) as f64
+        };
+        let result = chain.run(start, 5_000);
+        assert!(result.best_cost <= start_cost, "MCMC must not make the best seen cost worse");
+        assert!(result.accepted > 0, "some proposals must be accepted");
+    }
+
+    #[test]
+    fn optimization_keeps_correctness_at_zero_cost() {
+        // Starting from the (correct) target, the best rewrite must stay
+        // correct while possibly getting faster.
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let mut cf = cost_fn();
+        let mut chain = Chain::new(&mut cf, 7, true);
+        let start = Rewrite::from_program(&target, 8);
+        let result = chain.run(start, 10_000);
+        let best_instrs = result.best.instructions();
+        assert_eq!(chain.cost_fn.eq_prime(&best_instrs), 0, "best rewrite must remain correct");
+    }
+
+    #[test]
+    fn synthesis_finds_trivial_kernel() {
+        // A target computing rax = rdi is easy enough for a short random
+        // search to synthesize from scratch.
+        let target: Program = "movq rdi, rax".parse().unwrap();
+        let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi], &[Gpr::Rax]);
+        let suite = generate_testcases(&spec, 8, 2);
+        // Restrict the opcode universe to the scalar 64-bit data-movement
+        // and ALU instructions so the (deliberately tiny) synthesis budget
+        // suffices; the full universe is exercised by the larger runs in
+        // the experiment harness.
+        let pool: Vec<stoke_x86::Opcode> = stoke_x86::Opcode::all()
+            .into_iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    stoke_x86::Opcode::Mov(Width::Q)
+                        | stoke_x86::Opcode::Alu(_, Width::Q)
+                        | stoke_x86::Opcode::Lea(Width::Q)
+                        | stoke_x86::Opcode::Xchg(Width::Q)
+                )
+            })
+            .collect();
+        let config = Config { ell: 4, opcode_pool: pool, ..Config::quick_test() };
+        let mut cf = CostFn::new(config, suite, target.static_latency());
+        let mut chain = Chain::new(&mut cf, 13, false);
+        let start = Rewrite::empty(4);
+        let result = chain.run(start, 100_000);
+        assert_eq!(result.best_cost, 0.0, "synthesis should find a zero-cost rewrite");
+        // And the found rewrite really computes the identity on the cases.
+        let best = result.best.instructions();
+        assert_eq!(chain.cost_fn.eq_prime(&best), 0);
+    }
+
+    #[test]
+    fn early_termination_reduces_testcase_work() {
+        let mut cf1 = cost_fn();
+        let mut cf2 = cost_fn();
+        let start;
+        {
+            let mut chain = Chain::new(&mut cf1, 17, false);
+            start = chain.proposer_mut().random_rewrite();
+            chain.run(start.clone(), 3_000);
+        }
+        let with_early = cf1.stats.testcases_run;
+        {
+            let mut cf2cfg = cf2.config().clone();
+            cf2cfg.early_termination = false;
+            *cf2.config_mut() = cf2cfg;
+            let mut chain = Chain::new(&mut cf2, 17, false);
+            chain.run(start, 3_000);
+        }
+        let without_early = cf2.stats.testcases_run;
+        assert!(
+            with_early < without_early,
+            "early termination ({}) should evaluate fewer test cases than full evaluation ({})",
+            with_early,
+            without_early
+        );
+    }
+}

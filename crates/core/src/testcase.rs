@@ -1,0 +1,276 @@
+//! Test case generation — the reproduction's substitute for the paper's
+//! PinTool instrumentation (§5.1).
+//!
+//! A [`TargetSpec`] describes the target code sequence, its live inputs
+//! and outputs, and annotations for inputs that form memory addresses
+//! (the paper requires the user to annotate address-forming inputs with
+//! legal ranges). Test cases are produced by sampling the annotated
+//! inputs, running the *target* in the emulator to record the dereferenced
+//! addresses (which define the sandbox) and the live-output values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stoke_emu::{run, MachineState};
+use stoke_x86::flow::LocSet;
+use stoke_x86::{Gpr, Program, Xmm};
+
+/// How the value of a live-in register is generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputKind {
+    /// A plain value sampled uniformly from the 64-bit masked range.
+    Value {
+        /// Mask applied to the sampled value (e.g. `0xffff_ffff` for a
+        /// 32-bit argument).
+        mask: u64,
+    },
+    /// A pointer to a fresh buffer of `len` bytes filled with random data.
+    Pointer {
+        /// Buffer length in bytes.
+        len: u64,
+        /// Value mask applied to each 4-byte word of the buffer (useful
+        /// for keeping array elements small).
+        elem_mask: u64,
+    },
+}
+
+/// A live-in register together with its generation rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSpec {
+    /// The register holding the input.
+    pub reg: Gpr,
+    /// How the input is generated.
+    pub kind: InputKind,
+}
+
+impl InputSpec {
+    /// A 64-bit value input.
+    pub fn value64(reg: Gpr) -> InputSpec {
+        InputSpec { reg, kind: InputKind::Value { mask: u64::MAX } }
+    }
+
+    /// A 32-bit value input.
+    pub fn value32(reg: Gpr) -> InputSpec {
+        InputSpec { reg, kind: InputKind::Value { mask: 0xffff_ffff } }
+    }
+
+    /// A value input restricted by `mask`.
+    pub fn value_masked(reg: Gpr, mask: u64) -> InputSpec {
+        InputSpec { reg, kind: InputKind::Value { mask } }
+    }
+
+    /// A pointer input to a buffer of `len` bytes.
+    pub fn pointer(reg: Gpr, len: u64) -> InputSpec {
+        InputSpec { reg, kind: InputKind::Pointer { len, elem_mask: u64::MAX } }
+    }
+
+    /// A pointer input whose buffer words are masked (kept small).
+    pub fn pointer_masked(reg: Gpr, len: u64, elem_mask: u64) -> InputSpec {
+        InputSpec { reg, kind: InputKind::Pointer { len, elem_mask } }
+    }
+}
+
+/// Everything STOKE needs to know about a target: the code, its live
+/// inputs (with annotations) and its live outputs.
+#[derive(Debug, Clone)]
+pub struct TargetSpec {
+    /// The target code sequence (typically `llvm -O0` style output).
+    pub program: Program,
+    /// Live-in registers and how to generate them.
+    pub inputs: Vec<InputSpec>,
+    /// Live outputs with respect to the target.
+    pub live_out: LocSet,
+}
+
+impl TargetSpec {
+    /// Construct a spec.
+    pub fn new(program: Program, inputs: Vec<InputSpec>, live_out: LocSet) -> TargetSpec {
+        TargetSpec { program, inputs, live_out }
+    }
+
+    /// Convenience constructor: value inputs in registers, GPR live-outs.
+    pub fn with_gprs(program: Program, inputs: &[Gpr], outputs: &[Gpr]) -> TargetSpec {
+        TargetSpec {
+            program,
+            inputs: inputs.iter().map(|g| InputSpec::value64(*g)).collect(),
+            live_out: LocSet::from_gprs(outputs.iter().copied()),
+        }
+    }
+}
+
+/// One test case: an input machine state, plus the target's output state
+/// and the set of live outputs to compare.
+#[derive(Debug, Clone)]
+pub struct Testcase {
+    /// The input machine state (also defines the memory sandbox).
+    pub input: MachineState,
+    /// The state produced by running the target on `input`.
+    pub target_output: MachineState,
+}
+
+/// A set of test cases for one target.
+#[derive(Debug, Clone)]
+pub struct TestSuite {
+    /// The cases.
+    pub cases: Vec<Testcase>,
+    /// The live outputs compared by the cost function.
+    pub live_out: LocSet,
+    /// A scratch address range (the per-test-case stack) excluded from the
+    /// memory comparison: stack spills are temporaries of the target, not
+    /// live memory outputs.
+    pub scratch: Option<(u64, u64)>,
+}
+
+impl TestSuite {
+    /// Number of test cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Add a counterexample produced by the validator as a new test case
+    /// (the refinement loop of Equation 12). Pointer-typed inputs keep the
+    /// layout of the first existing test case so that the sandbox remains
+    /// meaningful.
+    pub fn add_counterexample(&mut self, spec: &TargetSpec, cex: &stoke_verify::Counterexample) {
+        let template = self.cases.first().map(|c| c.input.clone()).unwrap_or_default();
+        let mut input = template;
+        for is in &spec.inputs {
+            if let InputKind::Value { mask } = is.kind {
+                input.set_gpr64(is.reg, cex.gprs[is.reg.index()] & mask);
+            }
+        }
+        for x in Xmm::ALL {
+            if cex.xmms[x.index()] != [0, 0] {
+                input.write_xmm(x, cex.xmms[x.index()]);
+            }
+        }
+        let target_output = run(&spec.program, &input).state;
+        self.cases.push(Testcase { input, target_output });
+    }
+}
+
+/// Generate `n` test cases for a target (the PinTool substitute).
+pub fn generate_testcases(spec: &TargetSpec, n: usize, seed: u64) -> TestSuite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut input = MachineState::new();
+        // Every test case gets a small stack: `llvm -O0`-style targets spill
+        // to rsp-relative slots, and those addresses must be inside the
+        // sandbox for the target (and any rewrite) to execute cleanly.
+        const STACK_TOP: u64 = 0x8000;
+        input.set_gpr64(Gpr::Rsp, STACK_TOP);
+        input.memory.mark_valid(STACK_TOP - 0x1000, 0x1010);
+        // Lay pointer buffers out in distinct pages.
+        let mut next_base = 0x1_0000u64;
+        for is in &spec.inputs {
+            match is.kind {
+                InputKind::Value { mask } => {
+                    input.set_gpr64(is.reg, rng.gen::<u64>() & mask);
+                }
+                InputKind::Pointer { len, elem_mask } => {
+                    let base = next_base;
+                    next_base += len.next_multiple_of(0x1000) + 0x1000;
+                    input.set_gpr64(is.reg, base);
+                    let mut offset = 0;
+                    while offset < len {
+                        let word = rng.gen::<u64>() & elem_mask;
+                        let bytes = (len - offset).min(4);
+                        input.memory.poke_wide(base + offset, word, bytes);
+                        offset += bytes;
+                    }
+                }
+            }
+        }
+        let outcome = run(&spec.program, &input);
+        cases.push(Testcase { input, target_output: outcome.state });
+    }
+    TestSuite { cases, live_out: spec.live_out.clone(), scratch: Some((0x7000, 0x1010)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoke_x86::Gpr;
+
+    fn add_spec() -> TargetSpec {
+        let p: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        TargetSpec::with_gprs(p, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax])
+    }
+
+    #[test]
+    fn generates_requested_number_of_cases() {
+        let suite = generate_testcases(&add_spec(), 16, 1);
+        assert_eq!(suite.len(), 16);
+        for case in &suite.cases {
+            let x = case.input.read_gpr64(Gpr::Rdi);
+            let y = case.input.read_gpr64(Gpr::Rsi);
+            assert_eq!(case.target_output.read_gpr64(Gpr::Rax), x.wrapping_add(y));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_testcases(&add_spec(), 4, 7);
+        let b = generate_testcases(&add_spec(), 4, 7);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(x.input.read_gpr64(Gpr::Rdi), y.input.read_gpr64(Gpr::Rdi));
+        }
+        let c = generate_testcases(&add_spec(), 4, 8);
+        assert_ne!(
+            a.cases[0].input.read_gpr64(Gpr::Rdi),
+            c.cases[0].input.read_gpr64(Gpr::Rdi),
+            "different seeds should give different inputs (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn pointer_inputs_define_a_sandbox() {
+        let p: Program = "movl (rdi), eax\naddl 1, eax\nmovl eax, (rdi)".parse().unwrap();
+        let spec = TargetSpec::new(
+            p,
+            vec![InputSpec::pointer(Gpr::Rdi, 4)],
+            LocSet::from_gprs([Gpr::Rax]),
+        );
+        let suite = generate_testcases(&spec, 3, 11);
+        for case in &suite.cases {
+            let base = case.input.read_gpr64(Gpr::Rdi);
+            assert!(case.input.memory.is_valid(base, 4));
+            let before = case.input.memory.peek_wide(base, 4);
+            let after = case.target_output.memory.peek_wide(base, 4);
+            assert_eq!(after, (before + 1) & 0xffff_ffff);
+        }
+    }
+
+    #[test]
+    fn masked_value_inputs_respect_mask() {
+        let p: Program = "movl edi, eax".parse().unwrap();
+        let spec = TargetSpec::new(
+            p,
+            vec![InputSpec::value32(Gpr::Rdi)],
+            LocSet::from_gprs([Gpr::Rax]),
+        );
+        let suite = generate_testcases(&spec, 8, 3);
+        for case in &suite.cases {
+            assert!(case.input.read_gpr64(Gpr::Rdi) <= u64::from(u32::MAX));
+        }
+    }
+
+    #[test]
+    fn counterexample_becomes_testcase() {
+        let spec = add_spec();
+        let mut suite = generate_testcases(&spec, 2, 5);
+        let mut cex = stoke_verify::Counterexample::default();
+        cex.gprs[Gpr::Rdi.index()] = 0xdead;
+        cex.gprs[Gpr::Rsi.index()] = 0xbeef;
+        suite.add_counterexample(&spec, &cex);
+        assert_eq!(suite.len(), 3);
+        let added = suite.cases.last().unwrap();
+        assert_eq!(added.input.read_gpr64(Gpr::Rdi), 0xdead);
+        assert_eq!(added.target_output.read_gpr64(Gpr::Rax), 0xdead + 0xbeef);
+    }
+}

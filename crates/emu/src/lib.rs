@@ -1,0 +1,29 @@
+//! # stoke-emu
+//!
+//! The concrete execution substrate of the STOKE reproduction: a
+//! sandboxed interpreter for the modelled x86-64 subset (the paper's
+//! "hardware emulator", §4.1), fault counters feeding the `err(·)` cost
+//! term, and a dependency-aware timing model standing in for native
+//! benchmarking (§4.2 / Figure 3).
+//!
+//! ```
+//! use stoke_emu::{run, state::MachineState};
+//! use stoke_x86::{Gpr, Program};
+//!
+//! // p23: population count, the "typical superoptimizer rewrite".
+//! let p: Program = "popcntq rdi, rax".parse().unwrap();
+//! let mut input = MachineState::new();
+//! input.set_gpr64(Gpr::Rdi, 0b1011_0111);
+//! assert_eq!(run(&p, &input).state.read_gpr64(Gpr::Rax), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exec;
+pub mod state;
+pub mod timing;
+
+pub use exec::{run, run_instrs, Faults, Outcome};
+pub use state::{MachineState, Memory, XmmValue};
+pub use timing::{estimate_cycles, TimingModel};

@@ -1,0 +1,328 @@
+//! Concrete machine state: general purpose registers, SSE registers,
+//! status flags, defined-ness tracking and the sandboxed memory image.
+
+use std::collections::BTreeMap;
+use stoke_x86::{Flag, Gpr, Reg, Width, Xmm};
+
+/// A 128-bit SSE register value, stored as (low, high) 64-bit halves.
+pub type XmmValue = [u64; 2];
+
+/// The sandboxed memory image of a machine state.
+///
+/// Following §5.1 of the paper, "the set of addresses dereferenced by the
+/// target are used to define the sandbox in which candidate rewrites are
+/// executed": reads and writes of addresses outside `valid` are trapped,
+/// counted as segmentation faults, and replaced by a constant zero value
+/// (reads) or discarded (writes).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Memory {
+    /// Byte contents, keyed by address.
+    bytes: BTreeMap<u64, u8>,
+    /// Address ranges `[start, start + len)` that may legally be
+    /// dereferenced. Kept as ranges (rather than a per-byte set) so that
+    /// cloning a machine state — which the MCMC inner loop does for every
+    /// test-case evaluation — stays cheap.
+    valid: Vec<(u64, u64)>,
+}
+
+impl Memory {
+    /// An empty memory image with no valid addresses.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Mark a contiguous byte range as legally dereferenceable.
+    pub fn mark_valid(&mut self, addr: u64, len: u64) {
+        if len > 0 {
+            self.valid.push((addr, len));
+        }
+    }
+
+    /// Whether every byte of `[addr, addr + len)` may be dereferenced.
+    pub fn is_valid(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = match addr.checked_add(len) {
+            Some(e) => e,
+            None => return false,
+        };
+        // Fast path: a single range covers the whole access (the common
+        // case); otherwise fall back to a per-byte check so that adjacent
+        // ranges compose.
+        if self.valid.iter().any(|(s, l)| addr >= *s && end <= s.wrapping_add(*l)) {
+            return true;
+        }
+        (0..len).all(|i| {
+            let a = addr + i;
+            self.valid.iter().any(|(s, l)| a >= *s && a < s.wrapping_add(*l))
+        })
+    }
+
+    /// The valid address ranges, as `(start, len)` pairs.
+    pub fn valid_ranges(&self) -> &[(u64, u64)] {
+        &self.valid
+    }
+
+    /// Set a single byte (also marks it valid).
+    pub fn poke(&mut self, addr: u64, value: u8) {
+        self.mark_valid(addr, 1);
+        self.bytes.insert(addr, value);
+    }
+
+    /// Read a single byte. Unwritten valid bytes read as zero.
+    pub fn peek(&self, addr: u64) -> u8 {
+        self.bytes.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Write `len` bytes of `value` little-endian at `addr`, marking them
+    /// valid. Intended for test-case setup; sandboxed execution goes
+    /// through [`Memory::store`].
+    pub fn poke_wide(&mut self, addr: u64, value: u64, len: u64) {
+        for i in 0..len {
+            self.poke(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read `len <= 8` bytes little-endian without a validity check.
+    pub fn peek_wide(&self, addr: u64, len: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..len {
+            v |= u64::from(self.peek(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Sandboxed load of `len <= 8` bytes. Returns `None` (a fault) if any
+    /// byte is outside the sandbox.
+    pub fn load(&self, addr: u64, len: u64) -> Option<u64> {
+        if !self.is_valid(addr, len) {
+            return None;
+        }
+        Some(self.peek_wide(addr, len))
+    }
+
+    /// Sandboxed store of `len <= 8` bytes. Returns `false` (a fault) if
+    /// any byte is outside the sandbox; the store is discarded.
+    pub fn store(&mut self, addr: u64, value: u64, len: u64) -> bool {
+        if !self.is_valid(addr, len) {
+            return false;
+        }
+        for i in 0..len {
+            self.bytes.insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+        true
+    }
+
+    /// Sandboxed 128-bit load.
+    pub fn load128(&self, addr: u64) -> Option<XmmValue> {
+        if !self.is_valid(addr, 16) {
+            return None;
+        }
+        Some([self.peek_wide(addr, 8), self.peek_wide(addr.wrapping_add(8), 8)])
+    }
+
+    /// Sandboxed 128-bit store.
+    pub fn store128(&mut self, addr: u64, value: XmmValue) -> bool {
+        if !self.is_valid(addr, 16) {
+            return false;
+        }
+        self.store(addr, value[0], 8);
+        self.store(addr.wrapping_add(8), value[1], 8);
+        true
+    }
+
+    /// Iterate over all written (address, byte) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.bytes.iter().map(|(a, b)| (*a, *b))
+    }
+}
+
+/// A complete machine state: the object test cases are made of and the
+/// object the cost function compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    gprs: [u64; 16],
+    xmms: [XmmValue; 16],
+    flags: [bool; 5],
+    gpr_defined: [bool; 16],
+    xmm_defined: [bool; 16],
+    flag_defined: [bool; 5],
+    /// The sandboxed memory image.
+    pub memory: Memory,
+}
+
+impl Default for MachineState {
+    fn default() -> Self {
+        MachineState::new()
+    }
+}
+
+impl MachineState {
+    /// A machine state with all registers zero and *undefined*, and an
+    /// empty memory image.
+    pub fn new() -> MachineState {
+        MachineState {
+            gprs: [0; 16],
+            xmms: [[0, 0]; 16],
+            flags: [false; 5],
+            gpr_defined: [false; 16],
+            xmm_defined: [false; 16],
+            flag_defined: [false; 5],
+            memory: Memory::new(),
+        }
+    }
+
+    /// Read a register view (the value is masked to the view's width).
+    pub fn read_reg(&self, r: Reg) -> u64 {
+        r.width().truncate(self.gprs[r.parent().index()])
+    }
+
+    /// Read the full 64-bit value of an architectural register.
+    pub fn read_gpr64(&self, g: Gpr) -> u64 {
+        self.gprs[g.index()]
+    }
+
+    /// Write a register view with x86-64 merge semantics: 64-bit writes
+    /// replace the register, 32-bit writes zero the upper half, 16- and
+    /// 8-bit writes preserve the untouched bits. Marks the register
+    /// defined.
+    pub fn write_reg(&mut self, r: Reg, value: u64) {
+        let idx = r.parent().index();
+        let old = self.gprs[idx];
+        self.gprs[idx] = match r.width() {
+            Width::Q => value,
+            Width::L => value & 0xffff_ffff,
+            Width::W => (old & !0xffff) | (value & 0xffff),
+            Width::B => (old & !0xff) | (value & 0xff),
+        };
+        self.gpr_defined[idx] = true;
+    }
+
+    /// Overwrite the full 64-bit value of a register and mark it defined.
+    pub fn set_gpr64(&mut self, g: Gpr, value: u64) {
+        self.gprs[g.index()] = value;
+        self.gpr_defined[g.index()] = true;
+    }
+
+    /// Whether a register has been defined (written, or set as a live
+    /// input of the test case).
+    pub fn gpr_is_defined(&self, g: Gpr) -> bool {
+        self.gpr_defined[g.index()]
+    }
+
+    /// Read an SSE register.
+    pub fn read_xmm(&self, x: Xmm) -> XmmValue {
+        self.xmms[x.index()]
+    }
+
+    /// Write an SSE register and mark it defined.
+    pub fn write_xmm(&mut self, x: Xmm, value: XmmValue) {
+        self.xmms[x.index()] = value;
+        self.xmm_defined[x.index()] = true;
+    }
+
+    /// Whether an SSE register has been defined.
+    pub fn xmm_is_defined(&self, x: Xmm) -> bool {
+        self.xmm_defined[x.index()]
+    }
+
+    /// Read a status flag.
+    pub fn read_flag(&self, f: Flag) -> bool {
+        self.flags[f.index()]
+    }
+
+    /// Write a status flag and mark it defined.
+    pub fn write_flag(&mut self, f: Flag, value: bool) {
+        self.flags[f.index()] = value;
+        self.flag_defined[f.index()] = true;
+    }
+
+    /// Whether a status flag has been defined.
+    pub fn flag_is_defined(&self, f: Flag) -> bool {
+        self.flag_defined[f.index()]
+    }
+
+    /// Mark every register and flag as undefined (used when building the
+    /// initial state of a test case: only live inputs are then defined).
+    pub fn clear_definedness(&mut self) {
+        self.gpr_defined = [false; 16];
+        self.xmm_defined = [false; 16];
+        self.flag_defined = [false; 5];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_merge_semantics() {
+        let mut s = MachineState::new();
+        s.set_gpr64(Gpr::Rax, 0x1122_3344_5566_7788);
+        // 32-bit write zeroes the upper half.
+        s.write_reg(Gpr::Rax.view(Width::L), 0xdead_beef);
+        assert_eq!(s.read_gpr64(Gpr::Rax), 0x0000_0000_dead_beef);
+        // 8-bit write preserves everything else.
+        s.set_gpr64(Gpr::Rdx, 0x1122_3344_5566_7788);
+        s.write_reg(Gpr::Rdx.view(Width::B), 0xff);
+        assert_eq!(s.read_gpr64(Gpr::Rdx), 0x1122_3344_5566_77ff);
+        // 16-bit write preserves the upper 48 bits.
+        s.write_reg(Gpr::Rdx.view(Width::W), 0xaaaa);
+        assert_eq!(s.read_gpr64(Gpr::Rdx), 0x1122_3344_5566_aaaa);
+    }
+
+    #[test]
+    fn read_reg_masks_to_width() {
+        let mut s = MachineState::new();
+        s.set_gpr64(Gpr::Rcx, 0xffff_ffff_ffff_ffff);
+        assert_eq!(s.read_reg(Gpr::Rcx.view(Width::B)), 0xff);
+        assert_eq!(s.read_reg(Gpr::Rcx.view(Width::L)), 0xffff_ffff);
+        assert_eq!(s.read_reg(Gpr::Rcx.view(Width::Q)), u64::MAX);
+    }
+
+    #[test]
+    fn definedness_tracking() {
+        let mut s = MachineState::new();
+        assert!(!s.gpr_is_defined(Gpr::Rdi));
+        s.set_gpr64(Gpr::Rdi, 3);
+        assert!(s.gpr_is_defined(Gpr::Rdi));
+        assert!(!s.flag_is_defined(Flag::Cf));
+        s.write_flag(Flag::Cf, true);
+        assert!(s.flag_is_defined(Flag::Cf));
+        s.clear_definedness();
+        assert!(!s.gpr_is_defined(Gpr::Rdi));
+    }
+
+    #[test]
+    fn memory_sandbox_rules() {
+        let mut m = Memory::new();
+        m.poke_wide(0x1000, 0x0807_0605_0403_0201, 8);
+        assert_eq!(m.load(0x1000, 4), Some(0x0403_0201));
+        assert_eq!(m.load(0x1004, 4), Some(0x0807_0605));
+        // Out-of-sandbox accesses fault.
+        assert_eq!(m.load(0x2000, 4), None);
+        assert!(!m.store(0x2000, 1, 4));
+        // Partially valid ranges fault too.
+        assert_eq!(m.load(0x0ffd, 8), None);
+        // Stores inside the sandbox succeed.
+        assert!(m.store(0x1000, 0xffff_ffff, 4));
+        assert_eq!(m.load(0x1000, 8), Some(0x0807_0605_ffff_ffff));
+    }
+
+    #[test]
+    fn memory_128_bit_access() {
+        let mut m = Memory::new();
+        m.mark_valid(0x100, 16);
+        assert!(m.store128(0x100, [1, 2]));
+        assert_eq!(m.load128(0x100), Some([1, 2]));
+        assert_eq!(m.load128(0x101), None, "last byte falls outside the sandbox");
+    }
+
+    #[test]
+    fn unwritten_valid_memory_reads_zero() {
+        let mut m = Memory::new();
+        m.mark_valid(0x100, 8);
+        assert_eq!(m.load(0x100, 8), Some(0));
+    }
+}

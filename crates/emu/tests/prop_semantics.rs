@@ -1,0 +1,104 @@
+//! Property-based tests for the emulator: instruction semantics agree with
+//! native Rust arithmetic for arbitrary inputs, and the sandbox never
+//! leaks writes outside its valid ranges.
+
+use proptest::prelude::*;
+use stoke_emu::{run, MachineState};
+use stoke_x86::{Flag, Gpr, Program};
+
+fn state2(a: u64, b: u64) -> MachineState {
+    let mut s = MachineState::new();
+    s.set_gpr64(Gpr::Rdi, a);
+    s.set_gpr64(Gpr::Rsi, b);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// 64-bit add/sub/and/or/xor agree with Rust's wrapping arithmetic and
+    /// the carry/zero flags agree with the mathematical definitions.
+    #[test]
+    fn alu_semantics_match_native(a in any::<u64>(), b in any::<u64>()) {
+        let p: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let out = run(&p, &state2(a, b));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), a.wrapping_add(b));
+        prop_assert_eq!(out.state.read_flag(Flag::Cf), a.checked_add(b).is_none());
+        prop_assert_eq!(out.state.read_flag(Flag::Zf), a.wrapping_add(b) == 0);
+
+        let p: Program = "movq rdi, rax\nsubq rsi, rax".parse().unwrap();
+        let out = run(&p, &state2(a, b));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), a.wrapping_sub(b));
+        prop_assert_eq!(out.state.read_flag(Flag::Cf), a < b);
+
+        let p: Program = "movq rdi, rax\nxorq rsi, rax\nandq rsi, rax".parse().unwrap();
+        let out = run(&p, &state2(a, b));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), (a ^ b) & b);
+    }
+
+    /// The 128-bit widening multiply splits the full product across
+    /// rdx:rax.
+    #[test]
+    fn widening_multiply_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p: Program = "movq rdi, rax\nmulq rsi".parse().unwrap();
+        let out = run(&p, &state2(a, b));
+        let full = u128::from(a) * u128::from(b);
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), full as u64);
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rdx), (full >> 64) as u64);
+        prop_assert_eq!(out.state.read_flag(Flag::Cf), (full >> 64) != 0);
+    }
+
+    /// popcnt / bsf / bsr match the standard library bit operations.
+    #[test]
+    fn bit_instructions_match_std(a in 1u64..) {
+        let p: Program = "popcntq rdi, rax\nbsfq rdi, rbx\nbsrq rdi, rcx".parse().unwrap();
+        let out = run(&p, &state2(a, 0));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), u64::from(a.count_ones()));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rbx), u64::from(a.trailing_zeros()));
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rcx), u64::from(63 - a.leading_zeros()));
+    }
+
+    /// Shift-by-register masks the count exactly like the hardware (mod 64
+    /// for 64-bit operands, mod 32 for 32-bit operands).
+    #[test]
+    fn shift_counts_are_masked(a in any::<u64>(), count in any::<u8>()) {
+        let p: Program = "movq rsi, rcx\nmovq rdi, rax\nshlq cl, rax\nmovl edi, ebx\nshll cl, ebx"
+            .parse()
+            .unwrap();
+        let out = run(&p, &state2(a, u64::from(count)));
+        let c64 = u32::from(count) & 63;
+        let c32 = u32::from(count) & 31;
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), if c64 == 0 { a } else { a << c64 });
+        prop_assert_eq!(
+            out.state.read_gpr64(Gpr::Rbx),
+            u64::from(if c32 == 0 { a as u32 } else { (a as u32) << c32 })
+        );
+    }
+
+    /// Conditional moves select exactly one of the two values and faults
+    /// never occur on register-only programs.
+    #[test]
+    fn cmov_selects_min(a in any::<u64>(), b in any::<u64>()) {
+        // min(a, b) via cmp + cmovb.
+        let p: Program = "movq rsi, rax\ncmpq rsi, rdi\ncmovbq rdi, rax".parse().unwrap();
+        let out = run(&p, &state2(a, b));
+        prop_assert!(out.faults.is_clean());
+        prop_assert_eq!(out.state.read_gpr64(Gpr::Rax), a.min(b));
+    }
+
+    /// Out-of-sandbox stores are discarded: memory outside the valid
+    /// ranges is never modified, whatever address the program computes.
+    #[test]
+    fn sandbox_contains_stray_stores(addr in any::<u64>(), value in any::<u64>()) {
+        let mut s = state2(addr, value);
+        s.memory.poke_wide(0x1000, 0xdead_beef, 4);
+        let p: Program = "movq rsi, (rdi)".parse().unwrap();
+        let out = run(&p, &s);
+        // The only valid bytes are the four at 0x1000; they are unchanged
+        // unless the store legally landed inside them.
+        if !(0x0ff9..=0x1003).contains(&addr) {
+            prop_assert_eq!(out.state.memory.peek_wide(0x1000, 4), 0xdead_beef);
+            prop_assert_eq!(out.faults.sigsegv, 1);
+        }
+    }
+}

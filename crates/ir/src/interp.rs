@@ -1,0 +1,144 @@
+//! Reference interpreter for the IR: the ground truth the generated
+//! baselines (and, transitively, every STOKE rewrite) are tested against.
+
+use crate::ir::{Function, Op, Width};
+use std::collections::BTreeMap;
+
+fn as_signed(w: Width, v: u64) -> i64 {
+    match w {
+        Width::W32 => v as u32 as i32 as i64,
+        Width::W64 => v as i64,
+    }
+}
+
+/// Evaluate a function on parameter values, reading and writing the given
+/// byte-addressed memory. Returns the function result (zero for functions
+/// without a return value).
+pub fn evaluate(f: &Function, params: &[u64], memory: &mut BTreeMap<u64, u8>) -> u64 {
+    let mut values: Vec<u64> = Vec::with_capacity(f.insts.len());
+    for inst in &f.insts {
+        let w = inst.width;
+        let get = |v: crate::ir::ValueId| values[v.0 as usize] & w.mask();
+        let value = match &inst.op {
+            Op::Param(i) => params.get(*i).copied().unwrap_or(0),
+            Op::Const(c) => *c as u64,
+            Op::Add(a, b) => get(*a).wrapping_add(get(*b)),
+            Op::Sub(a, b) => get(*a).wrapping_sub(get(*b)),
+            Op::Mul(a, b) => get(*a).wrapping_mul(get(*b)),
+            Op::UMulHi(a, b) => match w {
+                Width::W32 => (get(*a) * get(*b)) >> 32,
+                Width::W64 => ((u128::from(get(*a)) * u128::from(get(*b))) >> 64) as u64,
+            },
+            Op::And(a, b) => get(*a) & get(*b),
+            Op::Or(a, b) => get(*a) | get(*b),
+            Op::Xor(a, b) => get(*a) ^ get(*b),
+            Op::Shl(a, b) => {
+                let c = get(*b) % (w.bytes() * 8);
+                get(*a) << c
+            }
+            Op::Shr(a, b) => {
+                let c = get(*b) % (w.bytes() * 8);
+                get(*a) >> c
+            }
+            Op::Sar(a, b) => {
+                let c = get(*b) % (w.bytes() * 8);
+                (as_signed(w, get(*a)) >> c) as u64
+            }
+            Op::Neg(a) => get(*a).wrapping_neg(),
+            Op::Not(a) => !get(*a),
+            Op::Eq(a, b) => u64::from(get(*a) == get(*b)),
+            Op::Ne(a, b) => u64::from(get(*a) != get(*b)),
+            Op::Ult(a, b) => u64::from(get(*a) < get(*b)),
+            Op::Slt(a, b) => u64::from(as_signed(w, get(*a)) < as_signed(w, get(*b))),
+            Op::Ite(c, a, b) => {
+                if get(*c) != 0 {
+                    get(*a)
+                } else {
+                    get(*b)
+                }
+            }
+            Op::Load { base, offset } => {
+                let addr = get(*base).wrapping_add(*offset as i64 as u64);
+                let mut v = 0u64;
+                for i in 0..w.bytes() {
+                    v |= u64::from(*memory.get(&addr.wrapping_add(i)).unwrap_or(&0)) << (8 * i);
+                }
+                v
+            }
+            Op::Store { base, offset, value } => {
+                let addr = get(*base).wrapping_add(*offset as i64 as u64);
+                let v = get(*value);
+                for i in 0..w.bytes() {
+                    memory.insert(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+                }
+                0
+            }
+        };
+        values.push(value & w.mask());
+    }
+    f.ret.map(|r| values[r.0 as usize]).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, Op};
+
+    #[test]
+    fn arithmetic_and_masking() {
+        // 32-bit: (a + b) * 2
+        let mut f = Function::new("t", 2);
+        let a = f.push32(Op::Param(0));
+        let b = f.push32(Op::Param(1));
+        let s = f.push32(Op::Add(a, b));
+        let two = f.push32(Op::Const(2));
+        let r = f.push32(Op::Mul(s, two));
+        f.ret(r);
+        let mut mem = BTreeMap::new();
+        assert_eq!(evaluate(&f, &[3, 4], &mut mem), 14);
+        // 32-bit wrap-around.
+        assert_eq!(evaluate(&f, &[0x8000_0000, 0], &mut mem), 0);
+    }
+
+    #[test]
+    fn umulhi_matches_wide_product() {
+        let mut f = Function::new("t", 2);
+        let a = f.push64(Op::Param(0));
+        let b = f.push64(Op::Param(1));
+        let hi = f.push64(Op::UMulHi(a, b));
+        f.ret(hi);
+        let mut mem = BTreeMap::new();
+        assert_eq!(evaluate(&f, &[1 << 63, 2], &mut mem), 1);
+        assert_eq!(evaluate(&f, &[u64::MAX, u64::MAX], &mut mem), u64::MAX - 1);
+    }
+
+    #[test]
+    fn loads_and_stores_are_little_endian() {
+        // x[0] = x[0] + 1 (32-bit), returns the old value.
+        let mut f = Function::new("t", 1);
+        let p = f.push64(Op::Param(0));
+        let old = f.push32(Op::Load { base: p, offset: 0 });
+        let one = f.push32(Op::Const(1));
+        let new = f.push32(Op::Add(old, one));
+        f.push32(Op::Store { base: p, offset: 0, value: new });
+        f.ret(old);
+        let mut mem = BTreeMap::new();
+        mem.insert(0x100, 0xff);
+        mem.insert(0x101, 0x00);
+        assert_eq!(evaluate(&f, &[0x100], &mut mem), 0xff);
+        assert_eq!(mem[&0x100], 0x00);
+        assert_eq!(mem[&0x101], 0x01);
+    }
+
+    #[test]
+    fn signed_operations() {
+        let mut f = Function::new("t", 2);
+        let a = f.push32(Op::Param(0));
+        let b = f.push32(Op::Param(1));
+        let lt = f.push32(Op::Slt(a, b));
+        f.ret(lt);
+        let mut mem = BTreeMap::new();
+        assert_eq!(evaluate(&f, &[0xffff_ffff, 1], &mut mem), 1, "-1 < 1 signed");
+        assert_eq!(evaluate(&f, &[1, 0xffff_ffff], &mut mem), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The straight-line expression IR in which every benchmark kernel is
+//! written once.
+
+/// Handle to a value computed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Operation width: the Hacker's Delight kernels are 32-bit, the
+/// Montgomery multiplication and pointer arithmetic are 64-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 32-bit operation.
+    W32,
+    /// 64-bit operation.
+    W64,
+}
+
+impl Width {
+    /// Number of bytes moved by loads/stores of this width.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// Value mask.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W32 => 0xffff_ffff,
+            Width::W64 => u64::MAX,
+        }
+    }
+}
+
+/// An IR operation. Value operands refer to earlier instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// The i-th function parameter (System V order: rdi, rsi, rdx, rcx, r8, r9).
+    Param(usize),
+    /// A constant.
+    Const(i64),
+    /// Addition.
+    Add(ValueId, ValueId),
+    /// Subtraction.
+    Sub(ValueId, ValueId),
+    /// Low half of the product.
+    Mul(ValueId, ValueId),
+    /// High half of the unsigned full product (e.g. the upper 64 bits of a
+    /// 64×64 multiplication).
+    UMulHi(ValueId, ValueId),
+    /// Bitwise and.
+    And(ValueId, ValueId),
+    /// Bitwise or.
+    Or(ValueId, ValueId),
+    /// Bitwise exclusive or.
+    Xor(ValueId, ValueId),
+    /// Logical shift left (count taken modulo the width).
+    Shl(ValueId, ValueId),
+    /// Logical shift right.
+    Shr(ValueId, ValueId),
+    /// Arithmetic shift right.
+    Sar(ValueId, ValueId),
+    /// Two's complement negation.
+    Neg(ValueId),
+    /// Bitwise complement.
+    Not(ValueId),
+    /// Equality (1 or 0).
+    Eq(ValueId, ValueId),
+    /// Disequality (1 or 0).
+    Ne(ValueId, ValueId),
+    /// Unsigned less-than (1 or 0).
+    Ult(ValueId, ValueId),
+    /// Signed less-than (1 or 0).
+    Slt(ValueId, ValueId),
+    /// Select: `cond != 0 ? a : b`.
+    Ite(ValueId, ValueId, ValueId),
+    /// Load from `base + offset`.
+    Load {
+        /// Base address value.
+        base: ValueId,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// Store `value` to `base + offset`. Produces no usable result.
+    Store {
+        /// Base address value.
+        base: ValueId,
+        /// Constant byte offset.
+        offset: i32,
+        /// The value stored.
+        value: ValueId,
+    },
+}
+
+impl Op {
+    /// The value operands of this operation.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Op::Param(_) | Op::Const(_) => vec![],
+            Op::Neg(a) | Op::Not(a) => vec![*a],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::UMulHi(a, b)
+            | Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Xor(a, b)
+            | Op::Shl(a, b)
+            | Op::Shr(a, b)
+            | Op::Sar(a, b)
+            | Op::Eq(a, b)
+            | Op::Ne(a, b)
+            | Op::Ult(a, b)
+            | Op::Slt(a, b) => vec![*a, *b],
+            Op::Ite(c, a, b) => vec![*c, *a, *b],
+            Op::Load { base, .. } => vec![*base],
+            Op::Store { base, value, .. } => vec![*base, *value],
+        }
+    }
+}
+
+/// One IR instruction: an operation at a width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// The operation width.
+    pub width: Width,
+}
+
+/// A straight-line IR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Human-readable name (e.g. `p01`).
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// The instructions, in execution order (SSA-like: each defines one value).
+    pub insts: Vec<Inst>,
+    /// The returned value, if any (placed in rax/eax).
+    pub ret: Option<ValueId>,
+}
+
+impl Function {
+    /// Create an empty function.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Function {
+        Function { name: name.into(), num_params, insts: Vec::new(), ret: None }
+    }
+
+    /// Append an instruction and return its value handle.
+    pub fn push(&mut self, op: Op, width: Width) -> ValueId {
+        let id = ValueId(self.insts.len() as u32);
+        self.insts.push(Inst { op, width });
+        id
+    }
+
+    /// Append a 32-bit instruction.
+    pub fn push32(&mut self, op: Op) -> ValueId {
+        self.push(op, Width::W32)
+    }
+
+    /// Append a 64-bit instruction.
+    pub fn push64(&mut self, op: Op) -> ValueId {
+        self.push(op, Width::W64)
+    }
+
+    /// Mark the returned value.
+    pub fn ret(&mut self, v: ValueId) {
+        self.ret = Some(v);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the function body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The last instruction index at which each value is used (used by the
+    /// register allocators).
+    pub fn last_uses(&self) -> Vec<usize> {
+        let mut last = vec![0usize; self.insts.len()];
+        for (i, inst) in self.insts.iter().enumerate() {
+            for v in inst.op.operands() {
+                last[v.0 as usize] = i;
+            }
+        }
+        if let Some(r) = self.ret {
+            last[r.0 as usize] = self.insts.len();
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_sequential_ids() {
+        let mut f = Function::new("t", 2);
+        let a = f.push32(Op::Param(0));
+        let b = f.push32(Op::Param(1));
+        let s = f.push32(Op::Add(a, b));
+        f.ret(s);
+        assert_eq!((a, b, s), (ValueId(0), ValueId(1), ValueId(2)));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.ret, Some(ValueId(2)));
+    }
+
+    #[test]
+    fn last_uses_cover_return() {
+        let mut f = Function::new("t", 1);
+        let a = f.push32(Op::Param(0));
+        let one = f.push32(Op::Const(1));
+        let s = f.push32(Op::Add(a, one));
+        f.ret(s);
+        let last = f.last_uses();
+        assert_eq!(last[a.0 as usize], 2);
+        assert_eq!(last[s.0 as usize], 3, "return keeps the value live past the body");
+    }
+
+    #[test]
+    fn operands_enumeration() {
+        let op = Op::Ite(ValueId(0), ValueId(1), ValueId(2));
+        assert_eq!(op.operands(), vec![ValueId(0), ValueId(1), ValueId(2)]);
+        assert!(Op::Const(3).operands().is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # stoke-ir
+//!
+//! A miniature straight-line expression IR with three code generators,
+//! standing in for the production compilers used by the paper's
+//! evaluation:
+//!
+//! * [`OptLevel::O0`] — every value is round-tripped through a stack slot,
+//!   mimicking `llvm -O0` (the starting point of every STOKE search);
+//! * [`OptLevel::O2`] — values live in registers but instruction selection
+//!   is naive (the `icc -O3` stand-in of Figure 10);
+//! * [`OptLevel::O3`] — register allocation plus the local instruction
+//!   selection tricks a production compiler applies (the `gcc -O3`
+//!   stand-in).
+//!
+//! Every kernel in `stoke-workloads` is written once in this IR and then
+//! lowered to all three baselines; the IR interpreter provides the
+//! reference semantics the generated assembly is tested against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod interp;
+pub mod ir;
+pub mod lower;
+
+pub use interp::evaluate;
+pub use ir::{Function, Op, ValueId, Width as IrWidth};
+pub use lower::{compile, OptLevel};

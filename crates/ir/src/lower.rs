@@ -1,0 +1,535 @@
+//! Code generation from the IR to the modelled x86-64 subset, at three
+//! optimization levels standing in for the paper's compiler baselines.
+
+use crate::ir::{Function, Op, ValueId, Width};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use stoke_x86::{Gpr, Program};
+
+/// The three baseline code generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// `llvm -O0` stand-in: every value round-trips through a stack slot.
+    O0,
+    /// `icc -O3` stand-in: register allocation, naive instruction selection.
+    O2,
+    /// `gcc -O3` stand-in: register allocation plus immediate folding and
+    /// simple strength reduction.
+    O3,
+}
+
+/// System V argument registers, in order.
+pub const PARAM_REGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+/// Compile an IR function to assembly at the given optimization level.
+///
+/// # Panics
+/// Panics if the function uses more than six parameters or needs more
+/// temporary registers than the allocator's pool provides (no kernel in
+/// `stoke-workloads` does).
+pub fn compile(f: &Function, level: OptLevel) -> Program {
+    let text = match level {
+        OptLevel::O0 => lower_o0(f),
+        OptLevel::O2 => lower_regalloc(f, false),
+        OptLevel::O3 => lower_regalloc(f, true),
+    };
+    text.parse().unwrap_or_else(|e| panic!("generated invalid assembly for {}: {}\n{}", f.name, e, text))
+}
+
+fn reg32(g: Gpr) -> String {
+    g.view(stoke_x86::Width::L).name().to_string()
+}
+
+fn reg_name(g: Gpr, w: Width) -> String {
+    match w {
+        Width::W32 => reg32(g),
+        Width::W64 => g.name64().to_string(),
+    }
+}
+
+fn suffix(w: Width) -> char {
+    match w {
+        Width::W32 => 'l',
+        Width::W64 => 'q',
+    }
+}
+
+// ---------------------------------------------------------------------
+// O0: every value lives in a stack slot.
+// ---------------------------------------------------------------------
+
+fn lower_o0(f: &Function) -> String {
+    assert!(f.num_params <= PARAM_REGS.len(), "too many parameters");
+    let mut out = String::new();
+    let param_slot = |i: usize| -> i32 { -8 * (i as i32 + 1) };
+    let value_slot = |v: ValueId| -> i32 { -8 * (f.num_params as i32 + v.0 as i32 + 1) };
+
+    // Spill every parameter, llvm -O0 style.
+    for i in 0..f.num_params {
+        let _ = writeln!(out, "movq {}, {}(rsp)", PARAM_REGS[i].name64(), param_slot(i));
+    }
+
+    for (idx, inst) in f.insts.iter().enumerate() {
+        let v = ValueId(idx as u32);
+        let w = inst.width;
+        let s = suffix(w);
+        let rax = reg_name(Gpr::Rax, w);
+        let rcx = reg_name(Gpr::Rcx, w);
+        // Load a value operand into a scratch register at the instruction width.
+        let load = |out: &mut String, val: ValueId, scratch: Gpr| {
+            let _ = writeln!(out, "mov{} {}(rsp), {}", s, value_slot(val), reg_name(scratch, w));
+        };
+        let mut store_result = true;
+        match &inst.op {
+            Op::Param(i) => {
+                let _ = writeln!(out, "mov{} {}(rsp), {}", s, param_slot(*i), rax);
+            }
+            Op::Const(c) => match w {
+                Width::W64 => {
+                    let _ = writeln!(out, "movabsq {}, rax", c);
+                }
+                Width::W32 => {
+                    let _ = writeln!(out, "movl {}, eax", (*c as u32) as i64);
+                }
+            },
+            Op::Add(a, b) | Op::Sub(a, b) | Op::And(a, b) | Op::Or(a, b) | Op::Xor(a, b)
+            | Op::Mul(a, b) => {
+                load(&mut out, *a, Gpr::Rax);
+                load(&mut out, *b, Gpr::Rcx);
+                let mnemonic = match &inst.op {
+                    Op::Add(..) => "add",
+                    Op::Sub(..) => "sub",
+                    Op::And(..) => "and",
+                    Op::Or(..) => "or",
+                    Op::Xor(..) => "xor",
+                    _ => "imul",
+                };
+                let _ = writeln!(out, "{}{} {}, {}", mnemonic, s, rcx, rax);
+            }
+            Op::UMulHi(a, b) => {
+                load(&mut out, *a, Gpr::Rax);
+                load(&mut out, *b, Gpr::Rcx);
+                let _ = writeln!(out, "mul{} {}", s, rcx);
+                let _ = writeln!(out, "mov{} {}, {}", s, reg_name(Gpr::Rdx, w), rax);
+            }
+            Op::Shl(a, b) | Op::Shr(a, b) | Op::Sar(a, b) => {
+                load(&mut out, *a, Gpr::Rax);
+                load(&mut out, *b, Gpr::Rcx);
+                let mnemonic = match &inst.op {
+                    Op::Shl(..) => "shl",
+                    Op::Shr(..) => "shr",
+                    _ => "sar",
+                };
+                let _ = writeln!(out, "{}{} cl, {}", mnemonic, s, rax);
+            }
+            Op::Neg(a) | Op::Not(a) => {
+                load(&mut out, *a, Gpr::Rax);
+                let mnemonic = if matches!(inst.op, Op::Neg(_)) { "neg" } else { "not" };
+                let _ = writeln!(out, "{}{} {}", mnemonic, s, rax);
+            }
+            Op::Eq(a, b) | Op::Ne(a, b) | Op::Ult(a, b) | Op::Slt(a, b) => {
+                load(&mut out, *a, Gpr::Rax);
+                load(&mut out, *b, Gpr::Rcx);
+                let _ = writeln!(out, "cmp{} {}, {}", s, rcx, rax);
+                let cc = match &inst.op {
+                    Op::Eq(..) => "e",
+                    Op::Ne(..) => "ne",
+                    Op::Ult(..) => "b",
+                    _ => "l",
+                };
+                let _ = writeln!(out, "set{} al", cc);
+                let _ = writeln!(out, "movzbq al, rax");
+            }
+            Op::Ite(c, t, e) => {
+                load(&mut out, *e, Gpr::Rax);
+                load(&mut out, *t, Gpr::Rcx);
+                let _ = writeln!(out, "movq {}(rsp), rdx", value_slot(*c));
+                let _ = writeln!(out, "testq rdx, rdx");
+                let _ = writeln!(out, "cmovneq rcx, rax");
+            }
+            Op::Load { base, offset } => {
+                let _ = writeln!(out, "movq {}(rsp), rcx", value_slot(*base));
+                let _ = writeln!(out, "mov{} {}(rcx), {}", s, offset, rax);
+            }
+            Op::Store { base, offset, value } => {
+                let _ = writeln!(out, "movq {}(rsp), rcx", value_slot(*base));
+                load(&mut out, *value, Gpr::Rax);
+                let _ = writeln!(out, "mov{} {}, {}(rcx)", s, rax, offset);
+                store_result = false;
+            }
+        }
+        if store_result {
+            // Results of 32-bit operations are zero-extended in rax, so a
+            // full-width spill keeps the slot canonical.
+            let _ = writeln!(out, "movq rax, {}(rsp)", value_slot(v));
+        }
+    }
+    if let Some(r) = f.ret {
+        let _ = writeln!(out, "movq {}(rsp), rax", value_slot(r));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// O2 / O3: linear register allocation with rax/rcx/rdx as scratch.
+// ---------------------------------------------------------------------
+
+/// Temporary register pool. The scratch registers rax/rcx/rdx are never
+/// allocated; parameter registers appear last so that entry moves cannot
+/// clobber still-unread parameters.
+const POOL: [Gpr; 11] = [
+    Gpr::Rbx,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::R12,
+    Gpr::R13,
+    Gpr::R14,
+    Gpr::R15,
+    Gpr::R9,
+    Gpr::R8,
+    Gpr::Rsi,
+    Gpr::Rdi,
+];
+
+struct Allocator {
+    free: Vec<Gpr>,
+    assigned: Vec<Option<Gpr>>,
+}
+
+impl Allocator {
+    fn new(num_values: usize) -> Allocator {
+        Allocator { free: POOL.iter().rev().copied().collect(), assigned: vec![None; num_values] }
+    }
+
+    fn alloc(&mut self, v: ValueId) -> Gpr {
+        let g = self.free.pop().expect("register allocator pool exhausted");
+        self.assigned[v.0 as usize] = Some(g);
+        g
+    }
+
+    fn reg(&self, v: ValueId) -> Gpr {
+        self.assigned[v.0 as usize].expect("value has no register (folded constant?)")
+    }
+
+    fn release(&mut self, v: ValueId) {
+        if let Some(g) = self.assigned[v.0 as usize].take() {
+            self.free.push(g);
+        }
+    }
+}
+
+fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
+    assert!(f.num_params <= PARAM_REGS.len(), "too many parameters");
+    let mut out = String::new();
+    let last_uses = f.last_uses();
+    let mut alloc = Allocator::new(f.insts.len());
+
+    // Which constants can stay immediates at O3 (never needed in a register).
+    let mut needs_reg: HashSet<ValueId> = HashSet::new();
+    for inst in &f.insts {
+        match &inst.op {
+            Op::Ite(c, t, e) => {
+                needs_reg.extend([*c, *t, *e]);
+            }
+            Op::UMulHi(a, b) => {
+                needs_reg.extend([*a, *b]);
+            }
+            Op::Load { base, .. } => {
+                needs_reg.insert(*base);
+            }
+            Op::Store { base, .. } => {
+                needs_reg.insert(*base);
+            }
+            Op::Neg(a) | Op::Not(a) => {
+                needs_reg.insert(*a);
+            }
+            // The first operand of a binary op is loaded into scratch, which
+            // also works for an immediate, so only Ite/address/unary uses
+            // force materialization.
+            _ => {}
+        }
+    }
+    if let Some(r) = f.ret {
+        needs_reg.insert(r);
+    }
+
+    // A constant value is folded (kept as an immediate) when constant
+    // folding is enabled and no use requires a register.
+    let folded = |v: ValueId| -> Option<i64> {
+        if !fold_constants || needs_reg.contains(&v) {
+            return None;
+        }
+        match f.insts[v.0 as usize].op {
+            Op::Const(c) => Some(c),
+            _ => None,
+        }
+    };
+
+    for (idx, inst) in f.insts.iter().enumerate() {
+        let v = ValueId(idx as u32);
+        let w = inst.width;
+        let s = suffix(w);
+        let rax = reg_name(Gpr::Rax, w);
+        // Textual source operand: an immediate (folded constant) or a
+        // register at the instruction width.
+        let src = |val: ValueId| -> String {
+            match folded(val) {
+                Some(c) => format!("{}", if w == Width::W32 { (c as u32) as i64 } else { c }),
+                None => reg_name(alloc.reg(val), w),
+            }
+        };
+        let produces_value = !matches!(inst.op, Op::Store { .. });
+        match &inst.op {
+            Op::Param(i) => {
+                let dst = alloc.alloc(v);
+                let _ = writeln!(out, "movq {}, {}", PARAM_REGS[*i].name64(), dst.name64());
+            }
+            Op::Const(c) => {
+                if folded(v).is_none() {
+                    let dst = alloc.alloc(v);
+                    match w {
+                        Width::W64 => {
+                            let _ = writeln!(out, "movabsq {}, {}", c, dst.name64());
+                        }
+                        Width::W32 => {
+                            let _ = writeln!(out, "movl {}, {}", (*c as u32) as i64, reg32(dst));
+                        }
+                    }
+                }
+            }
+            Op::Add(a, b) | Op::Sub(a, b) | Op::And(a, b) | Op::Or(a, b) | Op::Xor(a, b)
+            | Op::Mul(a, b) => {
+                let mnemonic = match &inst.op {
+                    Op::Add(..) => "add",
+                    Op::Sub(..) => "sub",
+                    Op::And(..) => "and",
+                    Op::Or(..) => "or",
+                    Op::Xor(..) => "xor",
+                    _ => "imul",
+                };
+                let a_src = src(*a);
+                let b_src = src(*b);
+                let _ = writeln!(out, "mov{} {}, {}", s, a_src, rax);
+                // Strength-reduce multiplications by powers of two at O3.
+                if fold_constants && mnemonic == "imul" {
+                    if let Some(c) = folded(*b) {
+                        if c > 0 && (c as u64).is_power_of_two() {
+                            let _ = writeln!(out, "shl{} {}, {}", s, (c as u64).trailing_zeros(), rax);
+                            let dst = finish(&mut out, &mut alloc, v, w);
+                            release_dead(&mut alloc, inst, idx, &last_uses, &folded);
+                            let _ = dst;
+                            continue;
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{}{} {}, {}", mnemonic, s, b_src, rax);
+                release_dead(&mut alloc, inst, idx, &last_uses, &folded);
+                finish(&mut out, &mut alloc, v, w);
+                continue;
+            }
+            Op::UMulHi(a, b) => {
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*a), rax);
+                let _ = writeln!(out, "mul{} {}", s, src(*b));
+                let _ = writeln!(out, "mov{} {}, {}", s, reg_name(Gpr::Rdx, w), rax);
+            }
+            Op::Shl(a, b) | Op::Shr(a, b) | Op::Sar(a, b) => {
+                let mnemonic = match &inst.op {
+                    Op::Shl(..) => "shl",
+                    Op::Shr(..) => "shr",
+                    _ => "sar",
+                };
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*a), rax);
+                if let Some(c) = folded(*b) {
+                    let _ = writeln!(out, "{}{} {}, {}", mnemonic, s, c, rax);
+                } else {
+                    let _ = writeln!(out, "movq {}, rcx", alloc.reg(*b).name64());
+                    let _ = writeln!(out, "{}{} cl, {}", mnemonic, s, rax);
+                }
+            }
+            Op::Neg(a) | Op::Not(a) => {
+                let mnemonic = if matches!(inst.op, Op::Neg(_)) { "neg" } else { "not" };
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*a), rax);
+                let _ = writeln!(out, "{}{} {}", mnemonic, s, rax);
+            }
+            Op::Eq(a, b) | Op::Ne(a, b) | Op::Ult(a, b) | Op::Slt(a, b) => {
+                let cc = match &inst.op {
+                    Op::Eq(..) => "e",
+                    Op::Ne(..) => "ne",
+                    Op::Ult(..) => "b",
+                    _ => "l",
+                };
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*a), rax);
+                let _ = writeln!(out, "cmp{} {}, {}", s, src(*b), rax);
+                let _ = writeln!(out, "set{} al", cc);
+                let _ = writeln!(out, "movzbq al, rax");
+            }
+            Op::Ite(c, t, e) => {
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*e), rax);
+                let creg = alloc.reg(*c);
+                let _ = writeln!(out, "testq {}, {}", creg.name64(), creg.name64());
+                let _ = writeln!(out, "cmovneq {}, rax", alloc.reg(*t).name64());
+            }
+            Op::Load { base, offset } => {
+                let _ = writeln!(out, "mov{} {}({}), {}", s, offset, alloc.reg(*base).name64(), rax);
+            }
+            Op::Store { base, offset, value } => {
+                let _ = writeln!(out, "mov{} {}, {}", s, src(*value), rax);
+                let _ = writeln!(out, "mov{} {}, {}({})", s, rax, offset, alloc.reg(*base).name64());
+            }
+        }
+        release_dead(&mut alloc, inst, idx, &last_uses, &folded);
+        if produces_value && !matches!(inst.op, Op::Param(_)) && folded(v).is_none()
+            && !matches!(inst.op, Op::Const(_))
+        {
+            finish(&mut out, &mut alloc, v, w);
+        }
+    }
+    if let Some(r) = f.ret {
+        let _ = writeln!(out, "movq {}, rax", alloc.reg(r).name64());
+    }
+    out
+}
+
+/// Release the registers of operands that die at this instruction.
+fn release_dead(
+    alloc: &mut Allocator,
+    inst: &crate::ir::Inst,
+    idx: usize,
+    last_uses: &[usize],
+    folded: &dyn Fn(ValueId) -> Option<i64>,
+) {
+    for operand in inst.op.operands() {
+        if folded(operand).is_none() && last_uses[operand.0 as usize] <= idx {
+            alloc.release(operand);
+        }
+    }
+}
+
+/// Move the scratch result into a freshly allocated register.
+fn finish(out: &mut String, alloc: &mut Allocator, v: ValueId, _w: Width) -> Gpr {
+    let dst = alloc.alloc(v);
+    let _ = writeln!(out, "movq rax, {}", dst.name64());
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::evaluate;
+    use crate::ir::Op;
+    use std::collections::BTreeMap;
+
+    /// p14 from Hacker's Delight: floor of the average of two integers,
+    /// (x & y) + ((x ^ y) >> 1).
+    fn average() -> Function {
+        let mut f = Function::new("p14", 2);
+        let x = f.push32(Op::Param(0));
+        let y = f.push32(Op::Param(1));
+        let a = f.push32(Op::And(x, y));
+        let b = f.push32(Op::Xor(x, y));
+        let one = f.push32(Op::Const(1));
+        let half = f.push32(Op::Shr(b, one));
+        let r = f.push32(Op::Add(a, half));
+        f.ret(r);
+        f
+    }
+
+    #[test]
+    fn o0_is_much_longer_than_o3() {
+        let f = average();
+        let o0 = compile(&f, OptLevel::O0);
+        let o2 = compile(&f, OptLevel::O2);
+        let o3 = compile(&f, OptLevel::O3);
+        assert!(o0.len() > o3.len() + 5, "O0 ({}) vs O3 ({})", o0.len(), o3.len());
+        assert!(o3.len() <= o2.len());
+        assert!(o0.static_latency() > o3.static_latency());
+    }
+
+    #[test]
+    fn all_levels_agree_with_the_interpreter() {
+        let f = average();
+        for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+            let program = compile(&f, level);
+            for (x, y) in [(0u64, 0u64), (1, 3), (0xffff_ffff, 1), (123456, 654321), (7, 8)] {
+                let mut mem = BTreeMap::new();
+                let expected = evaluate(&f, &[x, y], &mut mem);
+                let mut state = stoke_emu::MachineState::new();
+                state.set_gpr64(Gpr::Rdi, x);
+                state.set_gpr64(Gpr::Rsi, y);
+                state.set_gpr64(Gpr::Rsp, 0x8000);
+                state.memory.mark_valid(0x7000, 0x1000);
+                let out = stoke_emu::run(&program, &state);
+                assert!(out.faults.is_clean(), "{:?} faulted: {:?}", level, out.faults);
+                assert_eq!(
+                    out.state.read_gpr64(Gpr::Rax) & 0xffff_ffff,
+                    expected,
+                    "{:?} disagrees with the interpreter on ({}, {})",
+                    level,
+                    x,
+                    y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_kernels_compile_and_agree() {
+        // x[0] = 3 * x[0] + y[0] (one lane of SAXPY).
+        let mut f = Function::new("axpy1", 2);
+        let xp = f.push64(Op::Param(0));
+        let yp = f.push64(Op::Param(1));
+        let x0 = f.push32(Op::Load { base: xp, offset: 0 });
+        let y0 = f.push32(Op::Load { base: yp, offset: 0 });
+        let a = f.push32(Op::Const(3));
+        let ax = f.push32(Op::Mul(a, x0));
+        let r = f.push32(Op::Add(ax, y0));
+        f.push32(Op::Store { base: xp, offset: 0, value: r });
+        for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+            let program = compile(&f, level);
+            let mut state = stoke_emu::MachineState::new();
+            state.set_gpr64(Gpr::Rdi, 0x1000);
+            state.set_gpr64(Gpr::Rsi, 0x2000);
+            state.set_gpr64(Gpr::Rsp, 0x8000);
+            state.memory.mark_valid(0x7000, 0x1000);
+            state.memory.poke_wide(0x1000, 10, 4);
+            state.memory.poke_wide(0x2000, 5, 4);
+            let out = stoke_emu::run(&program, &state);
+            assert!(out.faults.is_clean(), "{:?} faulted: {:?}", level, out.faults);
+            assert_eq!(out.state.memory.peek_wide(0x1000, 4), 35, "{:?}", level);
+        }
+    }
+
+    #[test]
+    fn o3_folds_constants_and_strength_reduces() {
+        // x * 8 should become a shift at O3 but stay a multiply at O2.
+        let mut f = Function::new("mul8", 1);
+        let x = f.push32(Op::Param(0));
+        let eight = f.push32(Op::Const(8));
+        let r = f.push32(Op::Mul(x, eight));
+        f.ret(r);
+        let o2 = compile(&f, OptLevel::O2).to_string();
+        let o3 = compile(&f, OptLevel::O3).to_string();
+        assert!(o2.contains("imull"), "O2 should multiply:\n{}", o2);
+        assert!(o3.contains("shll"), "O3 should shift:\n{}", o3);
+        assert!(!o3.contains("imull"));
+    }
+
+    #[test]
+    fn sixty_four_bit_widening_multiply() {
+        let mut f = Function::new("hi", 2);
+        let a = f.push64(Op::Param(0));
+        let b = f.push64(Op::Param(1));
+        let hi = f.push64(Op::UMulHi(a, b));
+        f.ret(hi);
+        for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+            let program = compile(&f, level);
+            let mut state = stoke_emu::MachineState::new();
+            state.set_gpr64(Gpr::Rdi, u64::MAX);
+            state.set_gpr64(Gpr::Rsi, u64::MAX);
+            state.set_gpr64(Gpr::Rsp, 0x8000);
+            state.memory.mark_valid(0x7000, 0x1000);
+            let out = stoke_emu::run(&program, &state);
+            assert_eq!(out.state.read_gpr64(Gpr::Rax), u64::MAX - 1, "{:?}", level);
+        }
+    }
+}

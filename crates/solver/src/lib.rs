@@ -1,0 +1,35 @@
+//! # stoke-solver
+//!
+//! The decision-procedure substrate of the STOKE reproduction, replacing
+//! the STP theorem prover used by the paper: a CDCL SAT solver
+//! ([`sat`]), a hash-consed quantifier-free bit-vector term language
+//! ([`bv`]) and a Tseitin bit-blaster with Ackermann expansion of
+//! uninterpreted functions ([`blast`]).
+//!
+//! ```
+//! use stoke_solver::{TermPool, check, CheckResult};
+//!
+//! // Prove Hacker's Delight p01: x & (x - 1) turns off the lowest set bit,
+//! // i.e. it equals x - (x & -x) for every 32-bit x.
+//! let mut pool = TermPool::new();
+//! let x = pool.var(32, "x");
+//! let one = pool.constant(32, 1);
+//! let xm1 = pool.sub(x, one);
+//! let lhs = pool.and(x, xm1);
+//! let negx = pool.neg(x);
+//! let low = pool.and(x, negx);
+//! let rhs = pool.sub(x, low);
+//! let counterexample = pool.ne(lhs, rhs);
+//! assert_eq!(check(&pool, &[counterexample]), CheckResult::Unsat);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blast;
+pub mod bv;
+pub mod sat;
+
+pub use blast::{check, CheckResult, Checker, Model};
+pub use bv::{TermData, TermId, TermPool};
+pub use sat::{Lit, SatResult, Solver, Var};

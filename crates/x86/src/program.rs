@@ -1,0 +1,155 @@
+//! Loop-free, straight-line programs: the unit of code STOKE optimizes.
+
+use crate::instr::Instruction;
+use std::fmt;
+
+/// A loop-free sequence of instructions.
+///
+/// Targets and rewrites are both represented as `Program`s. STOKE's
+/// rewrites additionally carry `UNUSED` slots; those live in the search
+/// crate ([`stoke`]'s `Rewrite` type) and are converted to a dense
+/// `Program` before evaluation.
+///
+/// ```
+/// use stoke_x86::Program;
+/// let p: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert!(p.static_latency() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program { instrs: Vec::new() }
+    }
+
+    /// Build a program from a sequence of instructions.
+    pub fn from_instrs(instrs: Vec<Instruction>) -> Program {
+        Program { instrs }
+    }
+
+    /// The instructions, in execution order.
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Mutable access to the instructions.
+    pub fn instrs_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instrs
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, i: Instruction) {
+        self.instrs.push(i);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterate over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// The static performance heuristic of the paper's Equation 13:
+    /// `H(f) = Σ_i LATENCY(i)`.
+    pub fn static_latency(&self) -> u64 {
+        self.instrs.iter().map(|i| u64::from(i.latency())).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instrs {
+            writeln!(f, "{}", i)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Program {
+        Program { instrs: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Instruction;
+    type IntoIter = std::vec::IntoIter<Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.into_iter()
+    }
+}
+
+impl std::str::FromStr for Program {
+    type Err = crate::parse::ParseError;
+    fn from_str(s: &str) -> Result<Program, Self::Err> {
+        crate::parse::parse_program(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::build;
+    use crate::reg::{Gpr, Width};
+
+    #[test]
+    fn latency_sums() {
+        let mut p = Program::new();
+        assert_eq!(p.static_latency(), 0);
+        p.push(build::movq(Gpr::Rdi.full(), Gpr::Rax.full()));
+        p.push(build::addq(Gpr::Rsi.full(), Gpr::Rax.full()));
+        assert_eq!(p.static_latency(), 2);
+        p.push(build::mulq(Gpr::Rsi.view(Width::Q)));
+        assert!(p.static_latency() > 2);
+    }
+
+    #[test]
+    fn display_then_parse_roundtrip() {
+        let mut p = Program::new();
+        p.push(build::movq(Gpr::Rdi.full(), Gpr::Rax.full()));
+        p.push(build::addq(Operand::from(5i64), Gpr::Rax.full()));
+        let text = p.to_string();
+        let q: Program = text.parse().unwrap();
+        assert_eq!(p, q);
+    }
+
+    use crate::operand::Operand;
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: Program = vec![
+            build::movq(Gpr::Rdi.full(), Gpr::Rax.full()),
+            build::addq(Gpr::Rsi.full(), Gpr::Rax.full()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,417 @@
+//! Register model: general purpose registers (with 8/16/32/64-bit views),
+//! SSE registers and status flags.
+//!
+//! A [`Gpr`] names one of the sixteen 64-bit architectural registers. A
+//! [`Reg`] is a *view* of a `Gpr` at a particular [`Width`] (e.g. `eax` is
+//! the 32-bit view of `rax`). Widths follow the AT&T suffix convention:
+//! `B` = 8, `W` = 16, `L` = 32, `Q` = 64 bits.
+
+use std::fmt;
+
+/// Operand width, named after the AT&T mnemonic suffixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8-bit (`b` suffix).
+    B,
+    /// 16-bit (`w` suffix).
+    W,
+    /// 32-bit (`l` suffix).
+    L,
+    /// 64-bit (`q` suffix).
+    Q,
+}
+
+impl Width {
+    /// Number of bits in the width.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::B => 8,
+            Width::W => 16,
+            Width::L => 32,
+            Width::Q => 64,
+        }
+    }
+
+    /// Number of bytes in the width.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits()) / 8
+    }
+
+    /// Bit mask selecting the low `bits()` bits of a 64-bit value.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::Q => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// The AT&T instruction suffix character.
+    pub fn suffix(self) -> char {
+        match self {
+            Width::B => 'b',
+            Width::W => 'w',
+            Width::L => 'l',
+            Width::Q => 'q',
+        }
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::B, Width::W, Width::L, Width::Q];
+
+    /// Truncate a 64-bit value to this width (upper bits cleared).
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extend the low `bits()` bits of `v` to 64 bits.
+    pub fn sign_extend(self, v: u64) -> u64 {
+        let b = self.bits();
+        if b == 64 {
+            v
+        } else {
+            let shift = 64 - b;
+            (((v << shift) as i64) >> shift) as u64
+        }
+    }
+
+    /// The sign bit position (bits - 1).
+    pub fn sign_bit(self, v: u64) -> bool {
+        (v >> (self.bits() - 1)) & 1 == 1
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// One of the sixteen 64-bit general purpose architectural registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variant names are self-describing
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen general purpose registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Hardware encoding index (0..16).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from a hardware encoding index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 16`.
+    pub fn from_index(idx: usize) -> Gpr {
+        Self::ALL[idx]
+    }
+
+    /// The full 64-bit view of this register.
+    pub fn full(self) -> Reg {
+        Reg::new(self, Width::Q)
+    }
+
+    /// A view of this register at the given width.
+    pub fn view(self, width: Width) -> Reg {
+        Reg::new(self, width)
+    }
+
+    /// The AT&T name of the 64-bit view (e.g. `rax`).
+    pub fn name64(self) -> &'static str {
+        GPR_NAMES[self.index()][3]
+    }
+}
+
+/// Names indexed by `[gpr][width as ordinal]` where ordinal 0=B,1=W,2=L,3=Q.
+const GPR_NAMES: [[&str; 4]; 16] = [
+    ["al", "ax", "eax", "rax"],
+    ["cl", "cx", "ecx", "rcx"],
+    ["dl", "dx", "edx", "rdx"],
+    ["bl", "bx", "ebx", "rbx"],
+    ["spl", "sp", "esp", "rsp"],
+    ["bpl", "bp", "ebp", "rbp"],
+    ["sil", "si", "esi", "rsi"],
+    ["dil", "di", "edi", "rdi"],
+    ["r8b", "r8w", "r8d", "r8"],
+    ["r9b", "r9w", "r9d", "r9"],
+    ["r10b", "r10w", "r10d", "r10"],
+    ["r11b", "r11w", "r11d", "r11"],
+    ["r12b", "r12w", "r12d", "r12"],
+    ["r13b", "r13w", "r13d", "r13"],
+    ["r14b", "r14w", "r14d", "r14"],
+    ["r15b", "r15w", "r15d", "r15"],
+];
+
+fn width_ordinal(w: Width) -> usize {
+    match w {
+        Width::B => 0,
+        Width::W => 1,
+        Width::L => 2,
+        Width::Q => 3,
+    }
+}
+
+/// A view of a general purpose register at a particular width.
+///
+/// ```
+/// use stoke_x86::{Gpr, Reg, Width};
+/// let eax = Reg::new(Gpr::Rax, Width::L);
+/// assert_eq!(eax.to_string(), "eax");
+/// assert_eq!(eax.parent(), Gpr::Rax);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    gpr: Gpr,
+    width: Width,
+}
+
+impl Reg {
+    /// Create a view of `gpr` at `width`.
+    pub fn new(gpr: Gpr, width: Width) -> Reg {
+        Reg { gpr, width }
+    }
+
+    /// The underlying 64-bit architectural register.
+    pub fn parent(self) -> Gpr {
+        self.gpr
+    }
+
+    /// The width of the view.
+    pub fn width(self) -> Width {
+        self.width
+    }
+
+    /// The AT&T register name (`rax`, `eax`, `ax`, `al`, ...).
+    pub fn name(self) -> &'static str {
+        GPR_NAMES[self.gpr.index()][width_ordinal(self.width)]
+    }
+
+    /// Parse an AT&T register name, with or without a leading `%`.
+    ///
+    /// Returns `None` if the name is not a recognized register.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let name = name.strip_prefix('%').unwrap_or(name);
+        for (gi, names) in GPR_NAMES.iter().enumerate() {
+            for (wi, n) in names.iter().enumerate() {
+                if *n == name {
+                    let w = Width::ALL[wi];
+                    return Some(Reg::new(Gpr::from_index(gi), w));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether writing this view zeroes the upper half of the parent
+    /// register (true for 32-bit destinations on x86-64).
+    pub fn write_zeroes_upper(self) -> bool {
+        self.width == Width::L
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<Gpr> for Reg {
+    fn from(g: Gpr) -> Reg {
+        g.full()
+    }
+}
+
+/// One of the sixteen 128-bit SSE registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// All sixteen SSE registers.
+    pub const ALL: [Xmm; 16] = [
+        Xmm(0),
+        Xmm(1),
+        Xmm(2),
+        Xmm(3),
+        Xmm(4),
+        Xmm(5),
+        Xmm(6),
+        Xmm(7),
+        Xmm(8),
+        Xmm(9),
+        Xmm(10),
+        Xmm(11),
+        Xmm(12),
+        Xmm(13),
+        Xmm(14),
+        Xmm(15),
+    ];
+
+    /// Hardware encoding index (0..16).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parse `xmm0`..`xmm15`, with or without a leading `%`.
+    pub fn parse(name: &str) -> Option<Xmm> {
+        let name = name.strip_prefix('%').unwrap_or(name);
+        let rest = name.strip_prefix("xmm")?;
+        let idx: u8 = rest.parse().ok()?;
+        if idx < 16 {
+            Some(Xmm(idx))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// The status flags modelled by the emulator and the validator.
+///
+/// The auxiliary-carry flag is not modelled; none of the modelled opcodes
+/// read it and the paper's benchmarks never depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Flag {
+    /// Carry flag.
+    Cf = 0,
+    /// Zero flag.
+    Zf = 1,
+    /// Sign flag.
+    Sf = 2,
+    /// Overflow flag.
+    Of = 3,
+    /// Parity flag (parity of the low byte of a result).
+    Pf = 4,
+}
+
+impl Flag {
+    /// All modelled flags.
+    pub const ALL: [Flag; 5] = [Flag::Cf, Flag::Zf, Flag::Sf, Flag::Of, Flag::Pf];
+
+    /// Dense index (0..5).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Conventional one-letter-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flag::Cf => "cf",
+            Flag::Zf => "zf",
+            Flag::Sf => "sf",
+            Flag::Of => "of",
+            Flag::Pf => "pf",
+        }
+    }
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::B.mask(), 0xff);
+        assert_eq!(Width::W.mask(), 0xffff);
+        assert_eq!(Width::L.mask(), 0xffff_ffff);
+        assert_eq!(Width::Q.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn width_sign_extend() {
+        assert_eq!(Width::B.sign_extend(0x80), 0xffff_ffff_ffff_ff80);
+        assert_eq!(Width::B.sign_extend(0x7f), 0x7f);
+        assert_eq!(Width::L.sign_extend(0x8000_0000), 0xffff_ffff_8000_0000);
+        assert_eq!(Width::Q.sign_extend(0x1234), 0x1234);
+    }
+
+    #[test]
+    fn reg_names_roundtrip() {
+        for g in Gpr::ALL {
+            for w in Width::ALL {
+                let r = g.view(w);
+                assert_eq!(Reg::parse(r.name()), Some(r), "roundtrip {}", r);
+                let pct = format!("%{}", r.name());
+                assert_eq!(Reg::parse(&pct), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn reg_parse_rejects_garbage() {
+        assert_eq!(Reg::parse("foo"), None);
+        assert_eq!(Reg::parse("xmm1"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn xmm_roundtrip() {
+        for x in Xmm::ALL {
+            assert_eq!(Xmm::parse(&x.to_string()), Some(x));
+        }
+        assert_eq!(Xmm::parse("xmm16"), None);
+        assert_eq!(Xmm::parse("rax"), None);
+    }
+
+    #[test]
+    fn l_writes_zero_upper() {
+        assert!(Reg::new(Gpr::Rdx, Width::L).write_zeroes_upper());
+        assert!(!Reg::new(Gpr::Rdx, Width::Q).write_zeroes_upper());
+        assert!(!Reg::new(Gpr::Rdx, Width::B).write_zeroes_upper());
+    }
+
+    #[test]
+    fn sign_bit() {
+        assert!(Width::L.sign_bit(0x8000_0000));
+        assert!(!Width::L.sign_bit(0x7fff_ffff));
+        assert!(Width::B.sign_bit(0x80));
+    }
+}

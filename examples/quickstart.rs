@@ -1,0 +1,55 @@
+//! Quickstart: superoptimize a small loop-free kernel end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A deliberately clumsy computation of `rax = (rdi + rsi) * 2` (the kind
+//! of code `llvm -O0` emits) is handed to STOKE, which searches for a
+//! shorter equivalent, verifies it, and reports the estimated speedup.
+
+use stoke::{Config, Stoke, TargetSpec};
+use stoke_x86::{Gpr, Program};
+
+fn main() {
+    // The target: what an unoptimizing compiler might produce.
+    let target: Program = "
+        movq rdi, -8(rsp)
+        movq rsi, -16(rsp)
+        movq -8(rsp), rax
+        movq -16(rsp), rcx
+        addq rcx, rax
+        movq rax, -24(rsp)
+        movq -24(rsp), rax
+        addq rax, rax
+        movq rax, -32(rsp)
+        movq -32(rsp), rax
+    "
+    .parse()
+    .expect("target parses");
+
+    let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+
+    let mut config = Config::default();
+    config.ell = 12;
+    config.synthesis_iterations = 50_000;
+    config.optimization_iterations = 100_000;
+    config.threads = 2;
+
+    println!("=== target ({} instructions, H(T) = {}) ===", target.len(), target.static_latency());
+    print!("{}", target);
+
+    let mut stoke = Stoke::new(config, spec);
+    let result = stoke.run();
+
+    println!("\n=== STOKE rewrite ({} instructions, H(R) = {}) ===", result.rewrite.len(), result.rewrite_latency);
+    print!("{}", result.rewrite);
+    println!("\nverification: {:?}", result.verification);
+    println!("estimated speedup: {:.2}x", result.speedup());
+    println!(
+        "search: {} synthesis proposals, {} optimization proposals, {} testcase evaluations",
+        result.stats.synthesis_proposals,
+        result.stats.optimization_proposals,
+        result.stats.testcases_run
+    );
+}

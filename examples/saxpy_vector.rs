@@ -1,0 +1,67 @@
+//! The SAXPY vectorization case study of Figure 14.
+//!
+//! ```text
+//! cargo run --release --example saxpy_vector
+//! ```
+//!
+//! Shows the scalar baselines produced by the mini-compiler next to the
+//! SSE rewrite from the paper, and demonstrates with the emulator that
+//! both leave identical memory behind.
+
+use stoke_emu::{run, MachineState, TimingModel};
+use stoke_workloads::kernels::{saxpy, SAXPY_STOKE};
+use stoke_x86::{Gpr, Program};
+
+fn main() {
+    let kernel = saxpy();
+    let o0 = kernel.target_o0();
+    let o3 = kernel.baseline_o3();
+    let vectorized: Program = SAXPY_STOKE.parse().expect("paper rewrite parses");
+
+    println!("=== SAXPY (4x unrolled): x[i] = a*x[i] + y[i] ===\n");
+    println!("llvm -O0 stand-in: {} instructions", o0.len());
+    println!("gcc -O3 stand-in : {} instructions", o3.len());
+    println!("STOKE (paper)    : {} instructions\n", vectorized.len());
+    println!("--- gcc -O3 stand-in ---\n{}", o3);
+    println!("--- STOKE SSE rewrite (Figure 14) ---\n{}", vectorized);
+
+    // Run both on the same inputs. The scalar baseline follows the kernel
+    // ABI (edi = a, rsi = x, rdx = y); the vector rewrite additionally
+    // indexes with rcx, which the paper's driver holds at the loop offset
+    // (zero here).
+    let mut state = MachineState::new();
+    state.set_gpr64(Gpr::Rdi, 3);
+    state.set_gpr64(Gpr::Rsi, 0x1000);
+    state.set_gpr64(Gpr::Rdx, 0x2000);
+    state.set_gpr64(Gpr::Rcx, 0);
+    state.set_gpr64(Gpr::Rsp, 0x8000);
+    state.memory.mark_valid(0x7000, 0x1010);
+    for i in 0..4u64 {
+        state.memory.poke_wide(0x1000 + 4 * i, 100 + i, 4);
+        state.memory.poke_wide(0x2000 + 4 * i, 1000 + 10 * i, 4);
+    }
+
+    let scalar_out = run(&o3, &state);
+    let vector_out = run(&vectorized, &state);
+    assert!(scalar_out.faults.is_clean() && vector_out.faults.is_clean());
+    println!("final x[] after the scalar baseline and the SSE rewrite:");
+    for i in 0..4u64 {
+        let s = scalar_out.state.memory.peek_wide(0x1000 + 4 * i, 4);
+        let v = vector_out.state.memory.peek_wide(0x1000 + 4 * i, 4);
+        println!("  x[{}] = {} / {}", i, s, v);
+        assert_eq!(s, v, "scalar and vector results must agree");
+    }
+
+    let timing = TimingModel::default();
+    println!(
+        "\ntiming model: O0 {} cycles, O3 {} cycles, SSE rewrite {} cycles",
+        timing.cycles(&o0),
+        timing.cycles(&o3),
+        timing.cycles(&vectorized)
+    );
+    println!(
+        "speedup over -O0: O3 {:.2}x, STOKE {:.2}x",
+        timing.cycles(&o0) as f64 / timing.cycles(&o3) as f64,
+        timing.cycles(&o0) as f64 / timing.cycles(&vectorized) as f64
+    );
+}

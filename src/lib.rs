@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the whole STOKE reproduction workspace.
+pub use stoke;
+pub use stoke_emu as emu;
+pub use stoke_ir as ir;
+pub use stoke_solver as solver;
+pub use stoke_verify as verify;
+pub use stoke_workloads as workloads;
+pub use stoke_x86 as x86;
