@@ -19,7 +19,9 @@ fn emulator_testcases(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u64;
             for case in &suite.cases {
-                total += run(&target, &case.input).state.read_gpr64(stoke_x86::Gpr::Rax);
+                total += run(&target, &case.input)
+                    .state
+                    .read_gpr64(stoke_x86::Gpr::Rax);
             }
             total
         })
@@ -57,7 +59,9 @@ fn timing_model(c: &mut Criterion) {
     let kernel = stoke_workloads::kernels::montgomery();
     let o0 = kernel.target_o0();
     let model = TimingModel::default();
-    c.bench_function("timing_model/montgomery_o0", |b| b.iter(|| model.cycles(&o0)));
+    c.bench_function("timing_model/montgomery_o0", |b| {
+        b.iter(|| model.cycles(&o0))
+    });
 }
 
 criterion_group!(benches, emulator_testcases, validator_queries, timing_model);

@@ -34,9 +34,22 @@ fn fig01() {
     let gcc: Program = kernels::MONT_GCC_O3.parse().unwrap();
     let stoke_code: Program = kernels::MONT_STOKE.parse().unwrap();
     let t = TimingModel::default();
-    println!("{:<18}{:>8}{:>10}{:>10}", "code", "instrs", "H (lat)", "cycles");
-    for (name, p) in [("llvm -O0 (ours)", &o0), ("gcc -O3 (paper)", &gcc), ("STOKE (paper)", &stoke_code)] {
-        println!("{:<18}{:>8}{:>10}{:>10}", name, p.len(), p.static_latency(), t.cycles(p));
+    println!(
+        "{:<18}{:>8}{:>10}{:>10}",
+        "code", "instrs", "H (lat)", "cycles"
+    );
+    for (name, p) in [
+        ("llvm -O0 (ours)", &o0),
+        ("gcc -O3 (paper)", &gcc),
+        ("STOKE (paper)", &stoke_code),
+    ] {
+        println!(
+            "{:<18}{:>8}{:>10}{:>10}",
+            name,
+            p.len(),
+            p.static_latency(),
+            t.cycles(p)
+        );
     }
     println!(
         "speedup of the STOKE code over the gcc -O3 code: {:.2}x (paper: 1.6x)",
@@ -51,7 +64,11 @@ fn fig02() {
     writeln!(csv, "kernel,validations_per_sec,testcases_per_sec").unwrap();
     let mut vals = Vec::new();
     let mut evals = Vec::new();
-    for kernel in [hackers_delight::p01(), hackers_delight::p14(), hackers_delight::p21()] {
+    for kernel in [
+        hackers_delight::p01(),
+        hackers_delight::p14(),
+        hackers_delight::p21(),
+    ] {
         let target = kernel.baseline_o3();
         // Validation throughput: prove the target against itself repeatedly.
         let validator = Validator::new(kernel.live_out.clone());
@@ -74,13 +91,19 @@ fn fig02() {
             }
         }
         let evals_per_sec = count as f64 / t0.elapsed().as_secs_f64();
-        println!("{:<8} {:>12.1} validations/s {:>14.0} testcases/s", kernel.name, per_sec, evals_per_sec);
+        println!(
+            "{:<8} {:>12.1} validations/s {:>14.0} testcases/s",
+            kernel.name, per_sec, evals_per_sec
+        );
         writeln!(csv, "{},{:.1},{:.0}", kernel.name, per_sec, evals_per_sec).unwrap();
         vals.push(per_sec);
         evals.push(evals_per_sec);
     }
     let gap = evals.iter().sum::<f64>() / vals.iter().sum::<f64>();
-    println!("emulator / validator throughput ratio: {:.0}x (paper: >1000x)", gap);
+    println!(
+        "emulator / validator throughput ratio: {:.0}x (paper: >1000x)",
+        gap
+    );
 }
 
 /// Figure 3: static latency heuristic vs the timing model.
@@ -107,9 +130,21 @@ fn fig03() {
     let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
     let my = points.iter().map(|p| p.1).sum::<f64>() / n;
     let cov = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
-    let vx = points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt();
-    let vy = points.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
-    println!("{} points, Pearson r = {:.3} (paper shows a strong but outlier-bearing correlation)", points.len(), cov / (vx * vy));
+    let vx = points
+        .iter()
+        .map(|p| (p.0 - mx).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let vy = points
+        .iter()
+        .map(|p| (p.1 - my).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    println!(
+        "{} points, Pearson r = {:.3} (paper shows a strong but outlier-bearing correlation)",
+        points.len(),
+        cov / (vx * vy)
+    );
 }
 
 /// Figure 5: proposal throughput with and without early termination.
@@ -118,7 +153,11 @@ fn fig05(iterations: u64) {
     let kernel = kernels::montgomery();
     let spec = spec_for(&kernel);
     let mut csv = results_file("fig05_early_termination.csv");
-    writeln!(csv, "early_termination,proposals_per_sec,testcases_per_proposal").unwrap();
+    writeln!(
+        csv,
+        "early_termination,proposals_per_sec,testcases_per_proposal"
+    )
+    .unwrap();
     for early in [false, true] {
         let mut config = sweep_config(iterations, 1);
         config.early_termination = early;
@@ -136,7 +175,14 @@ fn fig05(iterations: u64) {
             result.proposals as f64 / secs,
             per_proposal
         );
-        writeln!(csv, "{},{:.0},{:.2}", early, result.proposals as f64 / secs, per_proposal).unwrap();
+        writeln!(
+            csv,
+            "{},{:.0},{:.2}",
+            early,
+            result.proposals as f64 / secs,
+            per_proposal
+        )
+        .unwrap();
     }
 }
 
@@ -147,7 +193,10 @@ fn fig07(iterations: u64) {
     let spec = spec_for(&kernel);
     let mut csv = results_file("fig07_cost_functions.csv");
     writeln!(csv, "metric,iteration,cost").unwrap();
-    for (name, metric) in [("strict", EqMetric::Strict), ("improved", EqMetric::Improved)] {
+    for (name, metric) in [
+        ("strict", EqMetric::Strict),
+        ("improved", EqMetric::Improved),
+    ] {
         let mut config = sweep_config(iterations, 1);
         config.eq_metric = metric;
         let suite = generate_testcases(&spec, config.num_testcases, config.seed);
@@ -181,12 +230,21 @@ fn fig08(iterations: u64) {
     chain.trace_every = (iterations / 60).max(1);
     let start = Rewrite::empty(24);
     let result = chain.run(start, iterations);
-    let final_instrs: Vec<String> =
-        result.best.to_program().iter().map(|i| i.to_string()).collect();
+    let final_instrs: Vec<String> = result
+        .best
+        .to_program()
+        .iter()
+        .map(|i| i.to_string())
+        .collect();
     let mut csv = results_file("fig08_incremental.csv");
     writeln!(csv, "iteration,cost,instructions").unwrap();
     for point in &result.trace {
-        writeln!(csv, "{},{},{}", point.iteration, point.cost, point.instructions).unwrap();
+        writeln!(
+            csv,
+            "{},{},{}",
+            point.iteration, point.cost, point.instructions
+        )
+        .unwrap();
     }
     println!(
         "synthesis reached cost {:.1}; final rewrite has {} instructions",
@@ -199,11 +257,15 @@ fn fig08(iterations: u64) {
 fn fig10(iterations: u64, threads: usize) {
     println!("== Figure 10 / Figure 12: speedups over llvm -O0 and search runtimes ==");
     let mut csv = results_file("fig10_speedups.csv");
-    writeln!(csv, "kernel,star,o2_speedup,o3_speedup,stoke_speedup,synthesis_s,optimization_s,verified").unwrap();
+    writeln!(
+        csv,
+        "kernel,star,o2_speedup,o3_speedup,stoke_speedup,synthesis_s,optimization_s,verified"
+    )
+    .unwrap();
     let t = TimingModel::default();
     println!(
-        "{:<8}{:>6}{:>10}{:>10}{:>10}{:>12}{:>12}  {}",
-        "kernel", "star", "icc -O3", "gcc -O3", "STOKE", "synth (s)", "opt (s)", "verified"
+        "{:<8}{:>6}{:>10}{:>10}{:>10}{:>12}{:>12}  verified",
+        "kernel", "star", "icc -O3", "gcc -O3", "STOKE", "synth (s)", "opt (s)"
     );
     for kernel in all_kernels() {
         let o0 = t.cycles(&kernel.target_o0()).max(1);
@@ -245,7 +307,10 @@ fn fig11() {
     println!("wsf {:<6} pc {:<6} pu {:<6}", c.wsf, c.pc, c.pu);
     println!("wfp {:<6} po {:<6} beta {:<6}", c.wfp, c.po, c.beta);
     println!("wur {:<6} ps {:<6} ell {:<6}", c.wur, c.ps, c.ell);
-    println!("wm  {:<6} pi {:<6} testcases {}", c.wm, c.pi, c.num_testcases);
+    println!(
+        "wm  {:<6} pi {:<6} testcases {}",
+        c.wm, c.pi, c.num_testcases
+    );
 }
 
 /// Figures 13/14/15: the case-study code listings.
@@ -253,11 +318,17 @@ fn fig13_14_15() {
     println!("== Figure 13: p21 (cycle through three values) ==");
     let p21 = hackers_delight::p21();
     println!("gcc -O3 stand-in:\n{}", p21.baseline_o3());
-    println!("STOKE rewrite (paper):\n{}", hackers_delight::P21_STOKE.trim());
+    println!(
+        "STOKE rewrite (paper):\n{}",
+        hackers_delight::P21_STOKE.trim()
+    );
     println!("\n== Figure 14: SAXPY ==");
     let saxpy = kernels::saxpy();
     println!("gcc -O3 stand-in:\n{}", saxpy.baseline_o3());
-    println!("STOKE SSE rewrite (paper):\n{}", kernels::SAXPY_STOKE.trim());
+    println!(
+        "STOKE SSE rewrite (paper):\n{}",
+        kernels::SAXPY_STOKE.trim()
+    );
     println!("\n== Figure 15: linked-list traversal (loop-free fragment) ==");
     let list = kernels::linked_list();
     println!("llvm -O0 stand-in:\n{}", list.target_o0());
@@ -291,7 +362,10 @@ fn main() {
             fig10(iterations, threads);
         }
         other => {
-            eprintln!("unknown experiment '{}'; see --help text in the source", other);
+            eprintln!(
+                "unknown experiment '{}'; see --help text in the source",
+                other
+            );
             std::process::exit(1);
         }
     }

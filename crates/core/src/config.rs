@@ -103,6 +103,8 @@ impl Default for Config {
             optimization_iterations: 200_000,
             threads: 4,
             rerank_margin: 1.2,
+            // The grouping spells "STOKE 2013"; regrouping would lose the pun.
+            #[allow(clippy::unusual_byte_groupings)]
             seed: 0x5704e_2013,
             opcode_pool: Opcode::all(),
             immediate_pool: vec![
@@ -128,7 +130,11 @@ impl Default for Config {
                 i64::MIN,
                 i64::MAX,
             ],
-            register_pool: Gpr::ALL.iter().copied().filter(|g| *g != Gpr::Rsp).collect(),
+            register_pool: Gpr::ALL
+                .iter()
+                .copied()
+                .filter(|g| *g != Gpr::Rsp)
+                .collect(),
         }
     }
 }

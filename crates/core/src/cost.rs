@@ -4,7 +4,7 @@
 //! term (`perf`, Equation 13).
 
 use crate::config::{Config, EqMetric};
-use crate::testcase::{Testcase, TestSuite};
+use crate::testcase::{TestSuite, Testcase};
 use stoke_emu::{run_instrs, Faults, MachineState};
 use stoke_x86::{Gpr, Instruction};
 
@@ -52,7 +52,12 @@ pub struct CostFn {
 impl CostFn {
     /// Build a cost function from a configuration and a test suite.
     pub fn new(config: Config, suite: TestSuite, target_latency: u64) -> CostFn {
-        CostFn { config, suite, target_latency, stats: EvalStats::default() }
+        CostFn {
+            config,
+            suite,
+            target_latency,
+            stats: EvalStats::default(),
+        }
     }
 
     /// The test suite (e.g. to add validator counterexamples).
@@ -78,7 +83,9 @@ impl CostFn {
 
     /// The `err(·)` term (Equation 11).
     pub fn err_term(&self, faults: &Faults) -> u64 {
-        self.config.wsf * faults.sigsegv + self.config.wfp * faults.sigfpe + self.config.wur * faults.undef
+        self.config.wsf * faults.sigsegv
+            + self.config.wfp * faults.sigfpe
+            + self.config.wur * faults.undef
     }
 
     /// The register distance term for one test case: strict (Equation 9)
@@ -203,7 +210,11 @@ impl CostFn {
     /// (the early-termination optimization of §4.5). Returns `None` when
     /// the bound was exceeded — the proposal is guaranteed to be rejected.
     /// Also returns the number of test cases evaluated.
-    pub fn eq_prime_bounded(&mut self, rewrite: &[Instruction], bound: f64) -> (Option<u64>, usize) {
+    pub fn eq_prime_bounded(
+        &mut self,
+        rewrite: &[Instruction],
+        bound: f64,
+    ) -> (Option<u64>, usize) {
         self.stats.evaluations += 1;
         let mut total = 0u64;
         for (i, case) in self.suite.cases.iter().enumerate() {
@@ -228,7 +239,10 @@ mod tests {
         let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
         let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
         let suite = generate_testcases(&spec, 8, 42);
-        let config = Config { eq_metric: metric, ..Config::quick_test() };
+        let config = Config {
+            eq_metric: metric,
+            ..Config::quick_test()
+        };
         let latency = target.static_latency();
         (CostFn::new(config, suite, latency), target)
     }
@@ -258,16 +272,27 @@ mod tests {
         let misplaced: Program = "movq rdi, rbx\naddq rsi, rbx".parse().unwrap();
         let s = strict.eq_prime(misplaced.instrs());
         let i = improved.eq_prime(misplaced.instrs());
-        assert!(i < s, "improved ({}) must be cheaper than strict ({})", i, s);
+        assert!(
+            i < s,
+            "improved ({}) must be cheaper than strict ({})",
+            i,
+            s
+        );
         // The improved cost is exactly wm per test case (value present but
         // misplaced), while the strict cost is the full Hamming distance.
         assert_eq!(i, improved.config().wm * improved.suite().len() as u64);
     }
 
     #[test]
+    // The expected value spells out count x weight per fault class.
+    #[allow(clippy::identity_op)]
     fn err_term_weights_faults() {
         let (cost, _) = setup(EqMetric::Improved);
-        let faults = Faults { sigsegv: 2, sigfpe: 1, undef: 3 };
+        let faults = Faults {
+            sigsegv: 2,
+            sigfpe: 1,
+            undef: 3,
+        };
         assert_eq!(cost.err_term(&faults), 2 * 1 + 1 * 1 + 3 * 2);
     }
 
@@ -275,7 +300,9 @@ mod tests {
     fn undefined_reads_are_penalized() {
         let (mut cost, _) = setup(EqMetric::Improved);
         // r11 is never defined in the test cases.
-        let uses_undef: Program = "movq r11, rax\nmovq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let uses_undef: Program = "movq r11, rax\nmovq rdi, rax\naddq rsi, rax"
+            .parse()
+            .unwrap();
         let clean: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
         assert!(cost.eq_prime(uses_undef.instrs()) > cost.eq_prime(clean.instrs()));
     }
@@ -293,7 +320,11 @@ mod tests {
         let wrong: Program = "movq 0, rax".parse().unwrap();
         let (res, evaluated) = cost.eq_prime_bounded(wrong.instrs(), 5.0);
         assert!(res.is_none());
-        assert!(evaluated < cost.suite().len(), "should stop before all {} cases", cost.suite().len());
+        assert!(
+            evaluated < cost.suite().len(),
+            "should stop before all {} cases",
+            cost.suite().len()
+        );
         assert_eq!(cost.stats.early_terminations, 1);
         // A permissive bound evaluates everything.
         let (res, evaluated) = cost.eq_prime_bounded(wrong.instrs(), 1e18);
@@ -307,7 +338,10 @@ mod tests {
         let target: Program = "movl esi, (rdi)".parse().unwrap();
         let spec = TargetSpec::new(
             target.clone(),
-            vec![InputSpec::pointer(Gpr::Rdi, 4), InputSpec::value32(Gpr::Rsi)],
+            vec![
+                InputSpec::pointer(Gpr::Rdi, 4),
+                InputSpec::value32(Gpr::Rsi),
+            ],
             stoke_x86::flow::LocSet::new(),
         );
         let suite = generate_testcases(&spec, 4, 9);

@@ -23,7 +23,9 @@ pub struct Rewrite {
 impl Rewrite {
     /// A rewrite with every slot `UNUSED`.
     pub fn empty(ell: usize) -> Rewrite {
-        Rewrite { slots: vec![None; ell] }
+        Rewrite {
+            slots: vec![None; ell],
+        }
     }
 
     /// A rewrite that starts as an existing program padded with `UNUSED`
@@ -91,7 +93,11 @@ impl Proposer {
     /// Create a proposer.
     pub fn new(config: Config, seed: u64) -> Proposer {
         let classes = OpcodeClasses::with_universe(config.opcode_pool.clone());
-        Proposer { config, classes, rng: StdRng::seed_from_u64(seed) }
+        Proposer {
+            config,
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Access the random number generator (shared with the chain).
@@ -114,7 +120,11 @@ impl Proposer {
     }
 
     fn random_reg(&mut self, w: Width) -> Operand {
-        let g = *self.config.register_pool.choose(&mut self.rng).expect("non-empty register pool");
+        let g = *self
+            .config
+            .register_pool
+            .choose(&mut self.rng)
+            .expect("non-empty register pool");
         Operand::Reg(g.view(w))
     }
 
@@ -123,20 +133,39 @@ impl Proposer {
     }
 
     fn random_imm(&mut self) -> Operand {
-        Operand::Imm(*self.config.immediate_pool.choose(&mut self.rng).unwrap_or(&0))
+        Operand::Imm(
+            *self
+                .config
+                .immediate_pool
+                .choose(&mut self.rng)
+                .unwrap_or(&0),
+        )
     }
 
     fn random_mem(&mut self) -> Operand {
-        let base = *self.config.register_pool.choose(&mut self.rng).expect("non-empty pool");
+        let base = *self
+            .config
+            .register_pool
+            .choose(&mut self.rng)
+            .expect("non-empty pool");
         let with_index = self.rng.gen_bool(0.3);
         let index = if with_index {
             Some(*self.config.register_pool.choose(&mut self.rng).unwrap())
         } else {
             None
         };
-        let scale = *[Scale::S1, Scale::S2, Scale::S4, Scale::S8].choose(&mut self.rng).unwrap();
-        let disp = *[-16i32, -8, -4, 0, 4, 8, 16, 32].choose(&mut self.rng).unwrap();
-        Operand::Mem(Mem { base: Some(base), index, scale, disp })
+        let scale = *[Scale::S1, Scale::S2, Scale::S4, Scale::S8]
+            .choose(&mut self.rng)
+            .unwrap();
+        let disp = *[-16i32, -8, -4, 0, 4, 8, 16, 32]
+            .choose(&mut self.rng)
+            .unwrap();
+        Operand::Mem(Mem {
+            base: Some(base),
+            index,
+            scale,
+            disp,
+        })
     }
 
     /// A random operand acceptable in `slot`, with the same kind
@@ -186,8 +215,10 @@ impl Proposer {
                 .choose(&mut self.rng)
                 .expect("non-empty opcode universe");
             let sig = opcode.signature();
-            let operands: Vec<Operand> =
-                sig.iter().map(|s| self.random_operand_for_slot(s)).collect();
+            let operands: Vec<Operand> = sig
+                .iter()
+                .map(|s| self.random_operand_for_slot(s))
+                .collect();
             // Reject the rare invalid combination (two memory operands).
             if let Ok(instr) = Instruction::new(opcode, operands) {
                 return instr;
@@ -254,8 +285,7 @@ impl Proposer {
     }
 
     fn random_filled_slot(&mut self, r: &Rewrite) -> Option<usize> {
-        let filled: Vec<usize> =
-            (0..r.len()).filter(|i| r.slots[*i].is_some()).collect();
+        let filled: Vec<usize> = (0..r.len()).filter(|i| r.slots[*i].is_some()).collect();
         filled.choose(&mut self.rng).copied()
     }
 }
@@ -278,6 +308,13 @@ pub struct ChainResult {
     pub best: Rewrite,
     /// Its cost.
     pub best_cost: f64,
+    /// The lowest-cost rewrite seen that also passed every test case
+    /// (`eq' == 0`). The paper's re-rank step only considers such
+    /// candidates: near-miss rewrites can undercut the target on total
+    /// cost, so [`ChainResult::best`] alone may be incorrect.
+    pub best_correct: Option<Rewrite>,
+    /// Cost of [`ChainResult::best_correct`] (`f64::INFINITY` if none).
+    pub best_correct_cost: f64,
     /// The current rewrite at the end of the run.
     pub last: Rewrite,
     /// Proposals evaluated.
@@ -306,7 +343,12 @@ impl<'a> Chain<'a> {
     /// Create a chain over a cost function.
     pub fn new(cost_fn: &'a mut CostFn, seed: u64, use_perf: bool) -> Chain<'a> {
         let config = cost_fn.config().clone();
-        Chain { cost_fn, proposer: Proposer::new(config, seed), use_perf, trace_every: 0 }
+        Chain {
+            cost_fn,
+            proposer: Proposer::new(config, seed),
+            use_perf,
+            trace_every: 0,
+        }
     }
 
     /// Access the proposer (e.g. to draw a random starting rewrite).
@@ -314,23 +356,31 @@ impl<'a> Chain<'a> {
         &mut self.proposer
     }
 
-    fn cost_of(&mut self, rewrite: &Rewrite) -> f64 {
+    /// Evaluate a rewrite, returning `(eq', total cost)`.
+    fn eq_and_cost(&mut self, rewrite: &Rewrite) -> (f64, f64) {
         let instrs = rewrite.instructions();
         let eq = self.cost_fn.eq_prime(&instrs) as f64;
-        if self.use_perf {
+        let cost = if self.use_perf {
             eq + self.cost_fn.perf_term(&instrs)
         } else {
             eq
-        }
+        };
+        (eq, cost)
     }
 
     /// Run the chain for `iterations` proposals starting from `start`.
     pub fn run(&mut self, start: Rewrite, iterations: u64) -> ChainResult {
         let config = self.cost_fn.config().clone();
         let mut current = start;
-        let mut current_cost = self.cost_of(&current);
+        let (current_eq, mut current_cost) = self.eq_and_cost(&current);
         let mut best = current.clone();
         let mut best_cost = current_cost;
+        let mut best_correct = (current_eq == 0.0).then(|| current.clone());
+        let mut best_correct_cost = if current_eq == 0.0 {
+            current_cost
+        } else {
+            f64::INFINITY
+        };
         let mut accepted = 0u64;
         let mut proposals = 0u64;
         let mut trace = Vec::new();
@@ -346,31 +396,39 @@ impl<'a> Chain<'a> {
                 let p: f64 = self.proposer.rng().gen::<f64>().max(1e-300);
                 let bound = current_cost - p.ln() / config.beta;
                 let instrs = candidate.instructions();
-                let perf = if self.use_perf { self.cost_fn.perf_term(&instrs) } else { 0.0 };
+                let perf = if self.use_perf {
+                    self.cost_fn.perf_term(&instrs)
+                } else {
+                    0.0
+                };
                 let eq_bound = bound - perf;
                 if eq_bound < 0.0 {
                     None
                 } else {
                     let (eq, _) = self.cost_fn.eq_prime_bounded(&instrs, eq_bound);
-                    eq.map(|e| e as f64 + perf)
+                    eq.map(|e| (e as f64, e as f64 + perf))
                 }
             } else {
-                let cost = self.cost_of(&candidate);
+                let (eq, cost) = self.eq_and_cost(&candidate);
                 let delta = cost - current_cost;
                 let p: f64 = self.proposer.rng().gen();
                 if delta <= 0.0 || p < (-config.beta * delta).exp() {
-                    Some(cost)
+                    Some((eq, cost))
                 } else {
                     None
                 }
             };
-            if let Some(cost) = accept {
+            if let Some((eq, cost)) = accept {
                 current = candidate;
                 current_cost = cost;
                 accepted += 1;
                 if cost < best_cost {
                     best = current.clone();
                     best_cost = cost;
+                }
+                if eq == 0.0 && cost < best_correct_cost {
+                    best_correct = Some(current.clone());
+                    best_correct_cost = cost;
                 }
             }
             if self.trace_every > 0 && iteration % self.trace_every == 0 {
@@ -389,6 +447,8 @@ impl<'a> Chain<'a> {
         ChainResult {
             best,
             best_cost,
+            best_correct,
+            best_correct_cost,
             last: current,
             proposals,
             accepted,
@@ -450,7 +510,12 @@ mod tests {
             let (_, kind) = chain.proposer_mut().propose(&r);
             seen.insert(kind);
         }
-        assert_eq!(seen.len(), 4, "expected all four move kinds, saw {:?}", seen);
+        assert_eq!(
+            seen.len(),
+            4,
+            "expected all four move kinds, saw {:?}",
+            seen
+        );
     }
 
     #[test]
@@ -463,7 +528,10 @@ mod tests {
             chain.cost_fn.eq_prime(&instrs) as f64
         };
         let result = chain.run(start, 5_000);
-        assert!(result.best_cost <= start_cost, "MCMC must not make the best seen cost worse");
+        assert!(
+            result.best_cost <= start_cost,
+            "MCMC must not make the best seen cost worse"
+        );
         assert!(result.accepted > 0, "some proposals must be accepted");
     }
 
@@ -477,7 +545,11 @@ mod tests {
         let start = Rewrite::from_program(&target, 8);
         let result = chain.run(start, 10_000);
         let best_instrs = result.best.instructions();
-        assert_eq!(chain.cost_fn.eq_prime(&best_instrs), 0, "best rewrite must remain correct");
+        assert_eq!(
+            chain.cost_fn.eq_prime(&best_instrs),
+            0,
+            "best rewrite must remain correct"
+        );
     }
 
     #[test]
@@ -503,12 +575,19 @@ mod tests {
                 )
             })
             .collect();
-        let config = Config { ell: 4, opcode_pool: pool, ..Config::quick_test() };
+        let config = Config {
+            ell: 4,
+            opcode_pool: pool,
+            ..Config::quick_test()
+        };
         let mut cf = CostFn::new(config, suite, target.static_latency());
         let mut chain = Chain::new(&mut cf, 13, false);
         let start = Rewrite::empty(4);
         let result = chain.run(start, 100_000);
-        assert_eq!(result.best_cost, 0.0, "synthesis should find a zero-cost rewrite");
+        assert_eq!(
+            result.best_cost, 0.0,
+            "synthesis should find a zero-cost rewrite"
+        );
         // And the found rewrite really computes the identity on the cases.
         let best = result.best.instructions();
         assert_eq!(chain.cost_fn.eq_prime(&best), 0);

@@ -91,12 +91,20 @@ impl Stoke {
     /// (the instrumentation step of Figure 9).
     pub fn new(config: Config, spec: TargetSpec) -> Stoke {
         let suite = generate_testcases(&spec, config.num_testcases, config.seed);
-        Stoke { config, spec, suite }
+        Stoke {
+            config,
+            spec,
+            suite,
+        }
     }
 
     /// Create a search reusing an existing test suite.
     pub fn with_suite(config: Config, spec: TargetSpec, suite: TestSuite) -> Stoke {
-        Stoke { config, spec, suite }
+        Stoke {
+            config,
+            spec,
+            suite,
+        }
     }
 
     /// The generated test suite.
@@ -155,7 +163,10 @@ impl Stoke {
         let threads = self.config.threads.max(1);
         let iterations = self.config.synthesis_iterations;
         let results: Vec<ChainResult> = if threads == 1 {
-            vec![self.synthesis_chain(self.config.seed ^ 0xa5a5, iterations).0]
+            vec![
+                self.synthesis_chain(self.config.seed ^ 0xa5a5, iterations)
+                    .0,
+            ]
         } else {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
@@ -164,7 +175,10 @@ impl Stoke {
                         scope.spawn(move |_| self.synthesis_chain(seed, iterations).0)
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("synthesis thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("synthesis thread panicked"))
+                    .collect()
             })
             .expect("crossbeam scope")
         };
@@ -194,7 +208,10 @@ impl Stoke {
             starts
                 .iter()
                 .enumerate()
-                .map(|(i, s)| self.optimization_chain(s, self.config.seed ^ (17 + i as u64), iterations).0)
+                .map(|(i, s)| {
+                    self.optimization_chain(s, self.config.seed ^ (17 + i as u64), iterations)
+                        .0
+                })
                 .collect()
         } else {
             crossbeam::thread::scope(|scope| {
@@ -206,16 +223,34 @@ impl Stoke {
                         scope.spawn(move |_| self.optimization_chain(s, seed, iterations).0)
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("optimization thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("optimization thread panicked"))
+                    .collect()
             })
             .expect("crossbeam scope")
         };
         stats.optimization_time += t0.elapsed();
+        // Re-rank only candidates that passed every test case (`eq' == 0`),
+        // as the paper does: a near-miss rewrite can undercut the target on
+        // *total* cost, so a chain's overall best may be incorrect and would
+        // then be discarded by validation, leaving nothing to re-rank.
+        // Chains with no correct rewrite contribute their overall best only
+        // when NO chain found a correct one — a cheap incorrect candidate
+        // must not shrink the re-rank margin and starve correct candidates
+        // from other chains.
         let mut candidates = Vec::new();
+        let mut fallbacks = Vec::new();
         for r in results {
             stats.optimization_proposals += r.proposals;
             stats.testcases_run += r.testcases_run;
-            candidates.push((r.best.to_program(), r.best_cost));
+            match r.best_correct {
+                Some(b) => candidates.push((b.to_program(), r.best_correct_cost)),
+                None => fallbacks.push((r.best.to_program(), r.best_cost)),
+            }
+        }
+        if candidates.is_empty() {
+            candidates = fallbacks;
         }
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         candidates
@@ -286,7 +321,11 @@ impl Stoke {
             .chain(testcase_clean)
             .next()
             .unwrap_or_else(|| {
-                (self.spec.program.clone(), target_cycles, Verification::TargetReturned)
+                (
+                    self.spec.program.clone(),
+                    target_cycles,
+                    Verification::TargetReturned,
+                )
             });
 
         StokeResult {
@@ -349,7 +388,11 @@ mod tests {
         let fresh = generate_testcases(stoke.spec(), 16, 999);
         let mut cf = CostFn::new(quick_config(), fresh, 0);
         let instrs: Vec<_> = result.rewrite.iter().cloned().collect();
-        assert_eq!(cf.eq_prime(&instrs), 0, "returned rewrite fails fresh test cases");
+        assert_eq!(
+            cf.eq_prime(&instrs),
+            0,
+            "returned rewrite fails fresh test cases"
+        );
     }
 
     #[test]
@@ -365,7 +408,10 @@ mod tests {
         // generated cases only by accident: use a single test case so a
         // wrong rewrite can slip through, then check the validator caught
         // it and added a counterexample.
-        let config = Config { num_testcases: 1, ..quick_config() };
+        let config = Config {
+            num_testcases: 1,
+            ..quick_config()
+        };
         let spec = clumsy_add();
         let mut stoke = Stoke::new(config, spec);
         let before = stoke.suite().len();

@@ -45,27 +45,45 @@ pub struct InputSpec {
 impl InputSpec {
     /// A 64-bit value input.
     pub fn value64(reg: Gpr) -> InputSpec {
-        InputSpec { reg, kind: InputKind::Value { mask: u64::MAX } }
+        InputSpec {
+            reg,
+            kind: InputKind::Value { mask: u64::MAX },
+        }
     }
 
     /// A 32-bit value input.
     pub fn value32(reg: Gpr) -> InputSpec {
-        InputSpec { reg, kind: InputKind::Value { mask: 0xffff_ffff } }
+        InputSpec {
+            reg,
+            kind: InputKind::Value { mask: 0xffff_ffff },
+        }
     }
 
     /// A value input restricted by `mask`.
     pub fn value_masked(reg: Gpr, mask: u64) -> InputSpec {
-        InputSpec { reg, kind: InputKind::Value { mask } }
+        InputSpec {
+            reg,
+            kind: InputKind::Value { mask },
+        }
     }
 
     /// A pointer input to a buffer of `len` bytes.
     pub fn pointer(reg: Gpr, len: u64) -> InputSpec {
-        InputSpec { reg, kind: InputKind::Pointer { len, elem_mask: u64::MAX } }
+        InputSpec {
+            reg,
+            kind: InputKind::Pointer {
+                len,
+                elem_mask: u64::MAX,
+            },
+        }
     }
 
     /// A pointer input whose buffer words are masked (kept small).
     pub fn pointer_masked(reg: Gpr, len: u64, elem_mask: u64) -> InputSpec {
-        InputSpec { reg, kind: InputKind::Pointer { len, elem_mask } }
+        InputSpec {
+            reg,
+            kind: InputKind::Pointer { len, elem_mask },
+        }
     }
 }
 
@@ -84,7 +102,11 @@ pub struct TargetSpec {
 impl TargetSpec {
     /// Construct a spec.
     pub fn new(program: Program, inputs: Vec<InputSpec>, live_out: LocSet) -> TargetSpec {
-        TargetSpec { program, inputs, live_out }
+        TargetSpec {
+            program,
+            inputs,
+            live_out,
+        }
     }
 
     /// Convenience constructor: value inputs in registers, GPR live-outs.
@@ -136,7 +158,11 @@ impl TestSuite {
     /// layout of the first existing test case so that the sandbox remains
     /// meaningful.
     pub fn add_counterexample(&mut self, spec: &TargetSpec, cex: &stoke_verify::Counterexample) {
-        let template = self.cases.first().map(|c| c.input.clone()).unwrap_or_default();
+        let template = self
+            .cases
+            .first()
+            .map(|c| c.input.clone())
+            .unwrap_or_default();
         let mut input = template;
         for is in &spec.inputs {
             if let InputKind::Value { mask } = is.kind {
@@ -149,7 +175,10 @@ impl TestSuite {
             }
         }
         let target_output = run(&spec.program, &input).state;
-        self.cases.push(Testcase { input, target_output });
+        self.cases.push(Testcase {
+            input,
+            target_output,
+        });
     }
 }
 
@@ -187,9 +216,16 @@ pub fn generate_testcases(spec: &TargetSpec, n: usize, seed: u64) -> TestSuite {
             }
         }
         let outcome = run(&spec.program, &input);
-        cases.push(Testcase { input, target_output: outcome.state });
+        cases.push(Testcase {
+            input,
+            target_output: outcome.state,
+        });
     }
-    TestSuite { cases, live_out: spec.live_out.clone(), scratch: Some((0x7000, 0x1010)) }
+    TestSuite {
+        cases,
+        live_out: spec.live_out.clone(),
+        scratch: Some((0x7000, 0x1010)),
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +266,9 @@ mod tests {
 
     #[test]
     fn pointer_inputs_define_a_sandbox() {
-        let p: Program = "movl (rdi), eax\naddl 1, eax\nmovl eax, (rdi)".parse().unwrap();
+        let p: Program = "movl (rdi), eax\naddl 1, eax\nmovl eax, (rdi)"
+            .parse()
+            .unwrap();
         let spec = TargetSpec::new(
             p,
             vec![InputSpec::pointer(Gpr::Rdi, 4)],

@@ -75,11 +75,17 @@ pub fn run(program: &Program, input: &MachineState) -> Outcome {
 
 /// Run a slice of instructions from `input` (see [`run`]).
 pub fn run_instrs(instrs: &[Instruction], input: &MachineState) -> Outcome {
-    let mut emu = Emulator { state: input.clone(), faults: Faults::default() };
+    let mut emu = Emulator {
+        state: input.clone(),
+        faults: Faults::default(),
+    };
     for instr in instrs {
         emu.step(instr);
     }
-    Outcome { state: emu.state, faults: emu.faults }
+    Outcome {
+        state: emu.state,
+        faults: emu.faults,
+    }
 }
 
 struct Emulator {
@@ -198,7 +204,10 @@ impl Emulator {
     fn set_result_flags(&mut self, w: Width, r: u64) {
         self.state.write_flag(Flag::Zf, w.truncate(r) == 0);
         self.state.write_flag(Flag::Sf, w.sign_bit(r));
-        self.state.write_flag(Flag::Pf, (w.truncate(r) as u8).count_ones() % 2 == 0);
+        self.state.write_flag(
+            Flag::Pf,
+            (w.truncate(r) as u8).count_ones().is_multiple_of(2),
+        );
     }
 
     fn set_flags_add(&mut self, w: Width, a: u64, b: u64, carry_in: u64, r: u64) {
@@ -349,14 +358,16 @@ impl Emulator {
                     UnOp::Inc => {
                         let r = w.truncate(a.wrapping_add(1));
                         // inc preserves CF.
-                        let of = (w.sign_bit(a) == w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
+                        let of =
+                            (w.sign_bit(a) == w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
                         self.state.write_flag(Flag::Of, of);
                         self.set_result_flags(w, r);
                         self.write(&ops[0], w, r);
                     }
                     UnOp::Dec => {
                         let r = w.truncate(a.wrapping_sub(1));
-                        let of = (w.sign_bit(a) != w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
+                        let of =
+                            (w.sign_bit(a) != w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
                         self.state.write_flag(Flag::Of, of);
                         self.set_result_flags(w, r);
                         self.write(&ops[0], w, r);
@@ -366,7 +377,8 @@ impl Emulator {
             Opcode::Imul2(w) => {
                 let src = self.read(&ops[0], w);
                 let dst = self.read(&ops[1], w);
-                let full = (w.sign_extend(src) as i64 as i128) * (w.sign_extend(dst) as i64 as i128);
+                let full =
+                    (w.sign_extend(src) as i64 as i128) * (w.sign_extend(dst) as i64 as i128);
                 let r = w.truncate(full as u64);
                 let overflow = full != (w.sign_extend(r) as i64 as i128);
                 self.state.write_flag(Flag::Cf, overflow);
@@ -377,7 +389,8 @@ impl Emulator {
             Opcode::Imul1(w) => {
                 let src = self.read(&ops[0], w);
                 let acc = self.state.read_reg(Gpr::Rax.view(w));
-                let full = (w.sign_extend(src) as i64 as i128) * (w.sign_extend(acc) as i64 as i128);
+                let full =
+                    (w.sign_extend(src) as i64 as i128) * (w.sign_extend(acc) as i64 as i128);
                 let lo = w.truncate(full as u64);
                 let hi = w.truncate((full >> w.bits()) as u64);
                 let overflow = full != (w.sign_extend(lo) as i64 as i128);
@@ -456,13 +469,25 @@ impl Emulator {
                 let bits = w.bits();
                 let (r, cf) = match op {
                     ShiftOp::Shl => {
-                        let r = if count >= bits { 0 } else { w.truncate(a << count) };
-                        let cf = if count <= bits { (a >> (bits - count)) & 1 == 1 } else { false };
+                        let r = if count >= bits {
+                            0
+                        } else {
+                            w.truncate(a << count)
+                        };
+                        let cf = if count <= bits {
+                            (a >> (bits - count)) & 1 == 1
+                        } else {
+                            false
+                        };
                         (r, cf)
                     }
                     ShiftOp::Shr => {
                         let r = if count >= bits { 0 } else { a >> count };
-                        let cf = if count <= bits { (a >> (count - 1)) & 1 == 1 } else { false };
+                        let cf = if count <= bits {
+                            (a >> (count - 1)) & 1 == 1
+                        } else {
+                            false
+                        };
                         (r, cf)
                     }
                     ShiftOp::Sar => {
@@ -474,12 +499,20 @@ impl Emulator {
                     }
                     ShiftOp::Rol => {
                         let c = count % bits;
-                        let r = if c == 0 { a } else { w.truncate((a << c) | (a >> (bits - c))) };
+                        let r = if c == 0 {
+                            a
+                        } else {
+                            w.truncate((a << c) | (a >> (bits - c)))
+                        };
                         (r, r & 1 == 1)
                     }
                     ShiftOp::Ror => {
                         let c = count % bits;
-                        let r = if c == 0 { a } else { w.truncate((a >> c) | (a << (bits - c))) };
+                        let r = if c == 0 {
+                            a
+                        } else {
+                            w.truncate((a >> c) | (a << (bits - c)))
+                        };
                         (r, w.sign_bit(r))
                     }
                 };
@@ -550,7 +583,11 @@ impl Emulator {
             }
             Opcode::Cltd => {
                 let eax = self.state.read_reg(Gpr::Rax.view(Width::L));
-                let v = if Width::L.sign_bit(eax) { 0xffff_ffff } else { 0 };
+                let v = if Width::L.sign_bit(eax) {
+                    0xffff_ffff
+                } else {
+                    0
+                };
                 self.state.write_reg(Gpr::Rdx.view(Width::L), v);
             }
             Opcode::MovdToXmm => {
@@ -618,17 +655,29 @@ impl Emulator {
 }
 
 fn to_lanes32(v: XmmValue) -> [u32; 4] {
-    [v[0] as u32, (v[0] >> 32) as u32, v[1] as u32, (v[1] >> 32) as u32]
+    [
+        v[0] as u32,
+        (v[0] >> 32) as u32,
+        v[1] as u32,
+        (v[1] >> 32) as u32,
+    ]
 }
 
 fn from_lanes32(l: [u32; 4]) -> XmmValue {
-    [u64::from(l[0]) | (u64::from(l[1]) << 32), u64::from(l[2]) | (u64::from(l[3]) << 32)]
+    [
+        u64::from(l[0]) | (u64::from(l[1]) << 32),
+        u64::from(l[2]) | (u64::from(l[3]) << 32),
+    ]
 }
 
 fn map_lanes(a: XmmValue, b: XmmValue, lane_bits: u32, f: impl Fn(u64, u64) -> u64) -> XmmValue {
     let mut out = [0u64; 2];
     let lanes_per_word = 64 / lane_bits;
-    let mask = if lane_bits == 64 { u64::MAX } else { (1u64 << lane_bits) - 1 };
+    let mask = if lane_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lane_bits) - 1
+    };
     for word in 0..2 {
         let mut acc = 0u64;
         for lane in 0..lanes_per_word {
@@ -673,7 +722,13 @@ pub fn sse_shift(op: SseShiftOp, dst: XmmValue, count: u64) -> XmmValue {
         if count >= u64::from(lane_bits) {
             return [0, 0];
         }
-        map_lanes(dst, dst, lane_bits, |a, _| if left { a << count } else { a >> count })
+        map_lanes(dst, dst, lane_bits, |a, _| {
+            if left {
+                a << count
+            } else {
+                a >> count
+            }
+        })
     };
     match op {
         SseShiftOp::Psllw => shift(16, true),
@@ -773,8 +828,14 @@ mod tests {
     fn signed_widening_multiply_32() {
         let s = state_with(&[(Gpr::Rax, (-3i32) as u32 as u64), (Gpr::Rsi, 7)]);
         let out = run_text("imull esi", &s);
-        assert_eq!(out.state.read_reg(Gpr::Rax.view(Width::L)), (-21i32) as u32 as u64);
-        assert_eq!(out.state.read_reg(Gpr::Rdx.view(Width::L)), u64::from(u32::MAX));
+        assert_eq!(
+            out.state.read_reg(Gpr::Rax.view(Width::L)),
+            (-21i32) as u32 as u64
+        );
+        assert_eq!(
+            out.state.read_reg(Gpr::Rdx.view(Width::L)),
+            u64::from(u32::MAX)
+        );
     }
 
     #[test]
@@ -796,7 +857,11 @@ mod tests {
         let s = state_with(&[(Gpr::Rax, 100), (Gpr::Rdx, 0), (Gpr::Rcx, 0)]);
         let out = run_text("divq rcx", &s);
         assert_eq!(out.faults.sigfpe, 1);
-        assert_eq!(out.state.read_gpr64(Gpr::Rax), 100, "faulting divide leaves state unchanged");
+        assert_eq!(
+            out.state.read_gpr64(Gpr::Rax),
+            100,
+            "faulting divide leaves state unchanged"
+        );
     }
 
     #[test]
@@ -881,7 +946,11 @@ mod tests {
         let s = state_with(&[(Gpr::Rsi, 0x1000)]);
         let out = run_text("movq (rsi), rax", &s);
         assert_eq!(out.faults.sigsegv, 1);
-        assert_eq!(out.state.read_gpr64(Gpr::Rax), 0, "faulting load produces zero");
+        assert_eq!(
+            out.state.read_gpr64(Gpr::Rax),
+            0,
+            "faulting load produces zero"
+        );
         let out = run_text("movq rax, (rsi)", &s);
         assert_eq!(out.faults.sigsegv, 1);
     }
@@ -932,8 +1001,20 @@ mod tests {
             movq rax, rdi
         ";
         let cases = [
-            (0x1234_5678_9abc_def0u64, 0xdead_beefu64, 0xcafe_babeu64, 7u64, 9u64),
-            (u64::MAX, u32::MAX as u64, u32::MAX as u64, u64::MAX, u64::MAX),
+            (
+                0x1234_5678_9abc_def0u64,
+                0xdead_beefu64,
+                0xcafe_babeu64,
+                7u64,
+                9u64,
+            ),
+            (
+                u64::MAX,
+                u32::MAX as u64,
+                u32::MAX as u64,
+                u64::MAX,
+                u64::MAX,
+            ),
             (0, 0, 0, 0, 0),
             (1, 0, 1, 0xffff_ffff_ffff_ffff, 1),
         ];
@@ -950,7 +1031,11 @@ mod tests {
                 + u128::from(c1)
                 + u128::from(c0);
             assert_eq!(out.state.read_gpr64(Gpr::Rdi), expected as u64, "low half");
-            assert_eq!(out.state.read_gpr64(Gpr::R8), (expected >> 64) as u64, "high half");
+            assert_eq!(
+                out.state.read_gpr64(Gpr::R8),
+                (expected >> 64) as u64,
+                "high half"
+            );
             assert!(out.faults.is_clean());
         }
     }
@@ -982,7 +1067,12 @@ mod tests {
         let out = run_text(text, &s);
         for i in 0..4u64 {
             let expected = 3 * (10 + i) + (100 + i);
-            assert_eq!(out.state.memory.peek_wide(0x1000 + 4 * i, 4), expected, "lane {}", i);
+            assert_eq!(
+                out.state.memory.peek_wide(0x1000 + 4 * i, 4),
+                expected,
+                "lane {}",
+                i
+            );
         }
         assert!(out.faults.is_clean());
     }
@@ -990,9 +1080,15 @@ mod tests {
     #[test]
     fn pshufd_broadcast() {
         let mut s = MachineState::new();
-        s.write_xmm(stoke_x86::Xmm(1), [0x0000_0002_0000_0001, 0x0000_0004_0000_0003]);
+        s.write_xmm(
+            stoke_x86::Xmm(1),
+            [0x0000_0002_0000_0001, 0x0000_0004_0000_0003],
+        );
         let out = run_text("pshufd 0, xmm1, xmm2", &s);
-        assert_eq!(out.state.read_xmm(stoke_x86::Xmm(2)), [0x0000_0001_0000_0001, 0x0000_0001_0000_0001]);
+        assert_eq!(
+            out.state.read_xmm(stoke_x86::Xmm(2)),
+            [0x0000_0001_0000_0001, 0x0000_0001_0000_0001]
+        );
     }
 
     #[test]
@@ -1001,7 +1097,10 @@ mod tests {
         s.write_xmm(stoke_x86::Xmm(0), [0x0000_0002_0000_0001, 0]);
         s.write_xmm(stoke_x86::Xmm(1), [0x0000_000b_0000_000a, 0]);
         let out = run_text("punpckldq xmm1, xmm0", &s);
-        assert_eq!(out.state.read_xmm(stoke_x86::Xmm(0)), [0x0000_000a_0000_0001, 0x0000_000b_0000_0002]);
+        assert_eq!(
+            out.state.read_xmm(stoke_x86::Xmm(0)),
+            [0x0000_000a_0000_0001, 0x0000_000b_0000_0002]
+        );
         let mut s = MachineState::new();
         s.write_xmm(stoke_x86::Xmm(0), [1, 2]);
         s.write_xmm(stoke_x86::Xmm(1), [3, 4]);

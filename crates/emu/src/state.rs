@@ -50,12 +50,18 @@ impl Memory {
         // Fast path: a single range covers the whole access (the common
         // case); otherwise fall back to a per-byte check so that adjacent
         // ranges compose.
-        if self.valid.iter().any(|(s, l)| addr >= *s && end <= s.wrapping_add(*l)) {
+        if self
+            .valid
+            .iter()
+            .any(|(s, l)| addr >= *s && end <= s.wrapping_add(*l))
+        {
             return true;
         }
         (0..len).all(|i| {
             let a = addr + i;
-            self.valid.iter().any(|(s, l)| a >= *s && a < s.wrapping_add(*l))
+            self.valid
+                .iter()
+                .any(|(s, l)| a >= *s && a < s.wrapping_add(*l))
         })
     }
 
@@ -109,7 +115,8 @@ impl Memory {
             return false;
         }
         for i in 0..len {
-            self.bytes.insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            self.bytes
+                .insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
         true
     }
@@ -119,7 +126,10 @@ impl Memory {
         if !self.is_valid(addr, 16) {
             return None;
         }
-        Some([self.peek_wide(addr, 8), self.peek_wide(addr.wrapping_add(8), 8)])
+        Some([
+            self.peek_wide(addr, 8),
+            self.peek_wide(addr.wrapping_add(8), 8),
+        ])
     }
 
     /// Sandboxed 128-bit store.
@@ -316,7 +326,11 @@ mod tests {
         m.mark_valid(0x100, 16);
         assert!(m.store128(0x100, [1, 2]));
         assert_eq!(m.load128(0x100), Some([1, 2]));
-        assert_eq!(m.load128(0x101), None, "last byte falls outside the sandbox");
+        assert_eq!(
+            m.load128(0x101),
+            None,
+            "last byte falls outside the sandbox"
+        );
     }
 
     #[test]

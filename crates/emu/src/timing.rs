@@ -28,7 +28,11 @@ pub struct TimingModel {
 
 impl Default for TimingModel {
     fn default() -> Self {
-        TimingModel { issue_width: 4, load_latency: 4, store_latency: 1 }
+        TimingModel {
+            issue_width: 4,
+            load_latency: 4,
+            store_latency: 1,
+        }
     }
 }
 
@@ -164,7 +168,10 @@ mod tests {
         .parse()
         .unwrap();
         let t = TimingModel::default();
-        assert!(t.cycles(&p) > t.cycles(&q), "stack round trip must be slower");
+        assert!(
+            t.cycles(&p) > t.cycles(&q),
+            "stack round trip must be slower"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn evaluate(f: &Function, params: &[u64], memory: &mut BTreeMap<u64, u8>) ->
                 }
                 v
             }
-            Op::Store { base, offset, value } => {
+            Op::Store {
+                base,
+                offset,
+                value,
+            } => {
                 let addr = get(*base).wrapping_add(*offset as i64 as u64);
                 let v = get(*value);
                 for i in 0..w.bytes() {
@@ -120,7 +124,11 @@ mod tests {
         let old = f.push32(Op::Load { base: p, offset: 0 });
         let one = f.push32(Op::Const(1));
         let new = f.push32(Op::Add(old, one));
-        f.push32(Op::Store { base: p, offset: 0, value: new });
+        f.push32(Op::Store {
+            base: p,
+            offset: 0,
+            value: new,
+        });
         f.ret(old);
         let mut mem = BTreeMap::new();
         mem.insert(0x100, 0xff);
@@ -138,7 +146,11 @@ mod tests {
         let lt = f.push32(Op::Slt(a, b));
         f.ret(lt);
         let mut mem = BTreeMap::new();
-        assert_eq!(evaluate(&f, &[0xffff_ffff, 1], &mut mem), 1, "-1 < 1 signed");
+        assert_eq!(
+            evaluate(&f, &[0xffff_ffff, 1], &mut mem),
+            1,
+            "-1 < 1 signed"
+        );
         assert_eq!(evaluate(&f, &[1, 0xffff_ffff], &mut mem), 0);
     }
 }

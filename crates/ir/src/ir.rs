@@ -145,7 +145,12 @@ pub struct Function {
 impl Function {
     /// Create an empty function.
     pub fn new(name: impl Into<String>, num_params: usize) -> Function {
-        Function { name: name.into(), num_params, insts: Vec::new(), ret: None }
+        Function {
+            name: name.into(),
+            num_params,
+            insts: Vec::new(),
+            ret: None,
+        }
     }
 
     /// Append an instruction and return its value handle.
@@ -221,7 +226,10 @@ mod tests {
         f.ret(s);
         let last = f.last_uses();
         assert_eq!(last[a.0 as usize], 2);
-        assert_eq!(last[s.0 as usize], 3, "return keeps the value live past the body");
+        assert_eq!(
+            last[s.0 as usize], 3,
+            "return keeps the value live past the body"
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub fn compile(f: &Function, level: OptLevel) -> Program {
         OptLevel::O2 => lower_regalloc(f, false),
         OptLevel::O3 => lower_regalloc(f, true),
     };
-    text.parse().unwrap_or_else(|e| panic!("generated invalid assembly for {}: {}\n{}", f.name, e, text))
+    text.parse()
+        .unwrap_or_else(|e| panic!("generated invalid assembly for {}: {}\n{}", f.name, e, text))
 }
 
 fn reg32(g: Gpr) -> String {
@@ -65,8 +66,8 @@ fn lower_o0(f: &Function) -> String {
     let value_slot = |v: ValueId| -> i32 { -8 * (f.num_params as i32 + v.0 as i32 + 1) };
 
     // Spill every parameter, llvm -O0 style.
-    for i in 0..f.num_params {
-        let _ = writeln!(out, "movq {}, {}(rsp)", PARAM_REGS[i].name64(), param_slot(i));
+    for (i, reg) in PARAM_REGS.iter().enumerate().take(f.num_params) {
+        let _ = writeln!(out, "movq {}, {}(rsp)", reg.name64(), param_slot(i));
     }
 
     for (idx, inst) in f.insts.iter().enumerate() {
@@ -77,7 +78,13 @@ fn lower_o0(f: &Function) -> String {
         let rcx = reg_name(Gpr::Rcx, w);
         // Load a value operand into a scratch register at the instruction width.
         let load = |out: &mut String, val: ValueId, scratch: Gpr| {
-            let _ = writeln!(out, "mov{} {}(rsp), {}", s, value_slot(val), reg_name(scratch, w));
+            let _ = writeln!(
+                out,
+                "mov{} {}(rsp), {}",
+                s,
+                value_slot(val),
+                reg_name(scratch, w)
+            );
         };
         let mut store_result = true;
         match &inst.op {
@@ -92,7 +99,11 @@ fn lower_o0(f: &Function) -> String {
                     let _ = writeln!(out, "movl {}, eax", (*c as u32) as i64);
                 }
             },
-            Op::Add(a, b) | Op::Sub(a, b) | Op::And(a, b) | Op::Or(a, b) | Op::Xor(a, b)
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Xor(a, b)
             | Op::Mul(a, b) => {
                 load(&mut out, *a, Gpr::Rax);
                 load(&mut out, *b, Gpr::Rcx);
@@ -124,7 +135,11 @@ fn lower_o0(f: &Function) -> String {
             }
             Op::Neg(a) | Op::Not(a) => {
                 load(&mut out, *a, Gpr::Rax);
-                let mnemonic = if matches!(inst.op, Op::Neg(_)) { "neg" } else { "not" };
+                let mnemonic = if matches!(inst.op, Op::Neg(_)) {
+                    "neg"
+                } else {
+                    "not"
+                };
                 let _ = writeln!(out, "{}{} {}", mnemonic, s, rax);
             }
             Op::Eq(a, b) | Op::Ne(a, b) | Op::Ult(a, b) | Op::Slt(a, b) => {
@@ -151,7 +166,11 @@ fn lower_o0(f: &Function) -> String {
                 let _ = writeln!(out, "movq {}(rsp), rcx", value_slot(*base));
                 let _ = writeln!(out, "mov{} {}(rcx), {}", s, offset, rax);
             }
-            Op::Store { base, offset, value } => {
+            Op::Store {
+                base,
+                offset,
+                value,
+            } => {
                 let _ = writeln!(out, "movq {}(rsp), rcx", value_slot(*base));
                 load(&mut out, *value, Gpr::Rax);
                 let _ = writeln!(out, "mov{} {}, {}(rcx)", s, rax, offset);
@@ -198,7 +217,10 @@ struct Allocator {
 
 impl Allocator {
     fn new(num_values: usize) -> Allocator {
-        Allocator { free: POOL.iter().rev().copied().collect(), assigned: vec![None; num_values] }
+        Allocator {
+            free: POOL.iter().rev().copied().collect(),
+            assigned: vec![None; num_values],
+        }
     }
 
     fn alloc(&mut self, v: ValueId) -> Gpr {
@@ -274,7 +296,14 @@ fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
         // register at the instruction width.
         let src = |val: ValueId| -> String {
             match folded(val) {
-                Some(c) => format!("{}", if w == Width::W32 { (c as u32) as i64 } else { c }),
+                Some(c) => format!(
+                    "{}",
+                    if w == Width::W32 {
+                        (c as u32) as i64
+                    } else {
+                        c
+                    }
+                ),
                 None => reg_name(alloc.reg(val), w),
             }
         };
@@ -297,7 +326,11 @@ fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
                     }
                 }
             }
-            Op::Add(a, b) | Op::Sub(a, b) | Op::And(a, b) | Op::Or(a, b) | Op::Xor(a, b)
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Xor(a, b)
             | Op::Mul(a, b) => {
                 let mnemonic = match &inst.op {
                     Op::Add(..) => "add",
@@ -314,7 +347,8 @@ fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
                 if fold_constants && mnemonic == "imul" {
                     if let Some(c) = folded(*b) {
                         if c > 0 && (c as u64).is_power_of_two() {
-                            let _ = writeln!(out, "shl{} {}, {}", s, (c as u64).trailing_zeros(), rax);
+                            let _ =
+                                writeln!(out, "shl{} {}, {}", s, (c as u64).trailing_zeros(), rax);
                             let dst = finish(&mut out, &mut alloc, v, w);
                             release_dead(&mut alloc, inst, idx, &last_uses, &folded);
                             let _ = dst;
@@ -347,7 +381,11 @@ fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
                 }
             }
             Op::Neg(a) | Op::Not(a) => {
-                let mnemonic = if matches!(inst.op, Op::Neg(_)) { "neg" } else { "not" };
+                let mnemonic = if matches!(inst.op, Op::Neg(_)) {
+                    "neg"
+                } else {
+                    "not"
+                };
                 let _ = writeln!(out, "mov{} {}, {}", s, src(*a), rax);
                 let _ = writeln!(out, "{}{} {}", mnemonic, s, rax);
             }
@@ -370,15 +408,35 @@ fn lower_regalloc(f: &Function, fold_constants: bool) -> String {
                 let _ = writeln!(out, "cmovneq {}, rax", alloc.reg(*t).name64());
             }
             Op::Load { base, offset } => {
-                let _ = writeln!(out, "mov{} {}({}), {}", s, offset, alloc.reg(*base).name64(), rax);
+                let _ = writeln!(
+                    out,
+                    "mov{} {}({}), {}",
+                    s,
+                    offset,
+                    alloc.reg(*base).name64(),
+                    rax
+                );
             }
-            Op::Store { base, offset, value } => {
+            Op::Store {
+                base,
+                offset,
+                value,
+            } => {
                 let _ = writeln!(out, "mov{} {}, {}", s, src(*value), rax);
-                let _ = writeln!(out, "mov{} {}, {}({})", s, rax, offset, alloc.reg(*base).name64());
+                let _ = writeln!(
+                    out,
+                    "mov{} {}, {}({})",
+                    s,
+                    rax,
+                    offset,
+                    alloc.reg(*base).name64()
+                );
             }
         }
         release_dead(&mut alloc, inst, idx, &last_uses, &folded);
-        if produces_value && !matches!(inst.op, Op::Param(_)) && folded(v).is_none()
+        if produces_value
+            && !matches!(inst.op, Op::Param(_))
+            && folded(v).is_none()
             && !matches!(inst.op, Op::Const(_))
         {
             finish(&mut out, &mut alloc, v, w);
@@ -440,7 +498,12 @@ mod tests {
         let o0 = compile(&f, OptLevel::O0);
         let o2 = compile(&f, OptLevel::O2);
         let o3 = compile(&f, OptLevel::O3);
-        assert!(o0.len() > o3.len() + 5, "O0 ({}) vs O3 ({})", o0.len(), o3.len());
+        assert!(
+            o0.len() > o3.len() + 5,
+            "O0 ({}) vs O3 ({})",
+            o0.len(),
+            o3.len()
+        );
         assert!(o3.len() <= o2.len());
         assert!(o0.static_latency() > o3.static_latency());
     }
@@ -450,7 +513,13 @@ mod tests {
         let f = average();
         for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
             let program = compile(&f, level);
-            for (x, y) in [(0u64, 0u64), (1, 3), (0xffff_ffff, 1), (123456, 654321), (7, 8)] {
+            for (x, y) in [
+                (0u64, 0u64),
+                (1, 3),
+                (0xffff_ffff, 1),
+                (123456, 654321),
+                (7, 8),
+            ] {
                 let mut mem = BTreeMap::new();
                 let expected = evaluate(&f, &[x, y], &mut mem);
                 let mut state = stoke_emu::MachineState::new();
@@ -459,7 +528,12 @@ mod tests {
                 state.set_gpr64(Gpr::Rsp, 0x8000);
                 state.memory.mark_valid(0x7000, 0x1000);
                 let out = stoke_emu::run(&program, &state);
-                assert!(out.faults.is_clean(), "{:?} faulted: {:?}", level, out.faults);
+                assert!(
+                    out.faults.is_clean(),
+                    "{:?} faulted: {:?}",
+                    level,
+                    out.faults
+                );
                 assert_eq!(
                     out.state.read_gpr64(Gpr::Rax) & 0xffff_ffff,
                     expected,
@@ -478,12 +552,22 @@ mod tests {
         let mut f = Function::new("axpy1", 2);
         let xp = f.push64(Op::Param(0));
         let yp = f.push64(Op::Param(1));
-        let x0 = f.push32(Op::Load { base: xp, offset: 0 });
-        let y0 = f.push32(Op::Load { base: yp, offset: 0 });
+        let x0 = f.push32(Op::Load {
+            base: xp,
+            offset: 0,
+        });
+        let y0 = f.push32(Op::Load {
+            base: yp,
+            offset: 0,
+        });
         let a = f.push32(Op::Const(3));
         let ax = f.push32(Op::Mul(a, x0));
         let r = f.push32(Op::Add(ax, y0));
-        f.push32(Op::Store { base: xp, offset: 0, value: r });
+        f.push32(Op::Store {
+            base: xp,
+            offset: 0,
+            value: r,
+        });
         for level in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
             let program = compile(&f, level);
             let mut state = stoke_emu::MachineState::new();
@@ -494,7 +578,12 @@ mod tests {
             state.memory.poke_wide(0x1000, 10, 4);
             state.memory.poke_wide(0x2000, 5, 4);
             let out = stoke_emu::run(&program, &state);
-            assert!(out.faults.is_clean(), "{:?} faulted: {:?}", level, out.faults);
+            assert!(
+                out.faults.is_clean(),
+                "{:?} faulted: {:?}",
+                level,
+                out.faults
+            );
             assert_eq!(out.state.memory.peek_wide(0x1000, 4), 35, "{:?}", level);
         }
     }

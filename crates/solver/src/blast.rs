@@ -78,7 +78,13 @@ impl Checker {
         let t = solver.new_var();
         let true_lit = t.positive();
         solver.add_clause(&[true_lit]);
-        Checker { solver, bits: HashMap::new(), var_bits: HashMap::new(), uf_apps: Vec::new(), true_lit }
+        Checker {
+            solver,
+            bits: HashMap::new(),
+            var_bits: HashMap::new(),
+            uf_apps: Vec::new(),
+            true_lit,
+        }
     }
 
     /// Number of SAT variables allocated so far.
@@ -229,9 +235,9 @@ impl Checker {
         }
         let w = pool.width(t) as usize;
         let bits: Vec<Lit> = match pool.data(t).clone() {
-            TermData::Const { value, .. } => {
-                (0..w).map(|i| self.const_lit((value >> i) & 1 == 1)).collect()
-            }
+            TermData::Const { value, .. } => (0..w)
+                .map(|i| self.const_lit((value >> i) & 1 == 1))
+                .collect(),
             TermData::Var { name, .. } => {
                 if let Some(existing) = self.var_bits.get(&name) {
                     existing.clone()
@@ -247,15 +253,24 @@ impl Checker {
             }
             TermData::And(a, b) => {
                 let (a, b) = (self.blast(pool, a), self.blast(pool, b));
-                a.iter().zip(&b).map(|(x, y)| self.and_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.and_gate(*x, *y))
+                    .collect()
             }
             TermData::Or(a, b) => {
                 let (a, b) = (self.blast(pool, a), self.blast(pool, b));
-                a.iter().zip(&b).map(|(x, y)| self.or_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.or_gate(*x, *y))
+                    .collect()
             }
             TermData::Xor(a, b) => {
                 let (a, b) = (self.blast(pool, a), self.blast(pool, b));
-                a.iter().zip(&b).map(|(x, y)| self.xor_gate(*x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.xor_gate(*x, *y))
+                    .collect()
             }
             TermData::Neg(a) => {
                 let a = self.blast(pool, a);
@@ -281,7 +296,13 @@ impl Checker {
                 let mut acc = vec![self.false_lit(); w];
                 for (i, bi) in b.iter().enumerate() {
                     let shifted: Vec<Lit> = (0..w)
-                        .map(|k| if k >= i { self.and_gate(a[k - i], *bi) } else { self.false_lit() })
+                        .map(|k| {
+                            if k >= i {
+                                self.and_gate(a[k - i], *bi)
+                            } else {
+                                self.false_lit()
+                            }
+                        })
                         .collect();
                     let (sum, _) = self.adder(&acc, &shifted, self.false_lit());
                     acc = sum;
@@ -310,7 +331,10 @@ impl Checker {
             TermData::Ite(c, a, b) => {
                 let c = self.blast(pool, c)[0];
                 let (a, b) = (self.blast(pool, a), self.blast(pool, b));
-                a.iter().zip(&b).map(|(x, y)| self.ite_gate(c, *x, *y)).collect()
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| self.ite_gate(c, *x, *y))
+                    .collect()
             }
             TermData::Extract { hi, lo, arg } => {
                 let a = self.blast(pool, arg);
@@ -397,7 +421,9 @@ impl Checker {
         for bit in b_bits.iter().skip(stages as usize) {
             overflow = self.or_gate(overflow, *bit);
         }
-        cur.into_iter().map(|l| self.ite_gate(overflow, fill, l)).collect()
+        cur.into_iter()
+            .map(|l| self.ite_gate(overflow, fill, l))
+            .collect()
     }
 
     /// Assert that a 1-bit term is true.
@@ -527,7 +553,11 @@ mod tests {
         let lowbit = p.and(x, negx);
         let rhs = p.sub(x, lowbit);
         let diff = p.ne(lhs, rhs);
-        assert_eq!(check(&p, &[diff]), CheckResult::Unsat, "identity must hold for all x");
+        assert_eq!(
+            check(&p, &[diff]),
+            CheckResult::Unsat,
+            "identity must hold for all x"
+        );
     }
 
     #[test]

@@ -164,7 +164,13 @@ impl TermPool {
     /// A constant of the given width.
     pub fn constant(&mut self, width: u32, value: u64) -> TermId {
         assert!((1..=64).contains(&width), "width {} out of range", width);
-        self.intern(TermData::Const { width, value: value & mask(width) }, width)
+        self.intern(
+            TermData::Const {
+                width,
+                value: value & mask(width),
+            },
+            width,
+        )
     }
 
     /// A fresh or existing variable of the given width and name. Variables
@@ -174,7 +180,11 @@ impl TermPool {
         assert!((1..=64).contains(&width), "width {} out of range", width);
         let name = name.into();
         let id = self.intern(TermData::Var { width, name }, width);
-        assert_eq!(self.width(id), width, "variable redeclared at a different width");
+        assert_eq!(
+            self.width(id),
+            width,
+            "variable redeclared at a different width"
+        );
         id
     }
 
@@ -311,7 +321,11 @@ impl TermPool {
         let w = self.binary_same_width(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => {
-                let r = if y >= u64::from(w) { 0 } else { (x & mask(w)) >> y };
+                let r = if y >= u64::from(w) {
+                    0
+                } else {
+                    (x & mask(w)) >> y
+                };
                 self.constant(w, r)
             }
             (_, Some(0)) => a,
@@ -398,7 +412,13 @@ impl TermPool {
     /// Extract bits `[hi:lo]` (inclusive).
     pub fn extract(&mut self, hi: u32, lo: u32, arg: TermId) -> TermId {
         let w = self.width(arg);
-        assert!(hi >= lo && hi < w, "bad extract [{}:{}] of width {}", hi, lo, w);
+        assert!(
+            hi >= lo && hi < w,
+            "bad extract [{}:{}] of width {}",
+            hi,
+            lo,
+            w
+        );
         let out_w = hi - lo + 1;
         if lo == 0 && out_w == w {
             return arg;
@@ -482,9 +502,9 @@ impl TermPool {
         let w = self.width(t);
         let v = match self.data(t) {
             TermData::Const { value, .. } => *value,
-            TermData::Var { name, .. } => *env
-                .get(name)
-                .unwrap_or_else(|| panic!("variable '{}' missing from evaluation environment", name)),
+            TermData::Var { name, .. } => *env.get(name).unwrap_or_else(|| {
+                panic!("variable '{}' missing from evaluation environment", name)
+            }),
             TermData::Not(a) => !self.eval(*a, env),
             TermData::And(a, b) => self.eval(*a, env) & self.eval(*b, env),
             TermData::Or(a, b) => self.eval(*a, env) | self.eval(*b, env),
@@ -514,14 +534,13 @@ impl TermPool {
                 let shift = y.min(u64::from(w - 1)) as u32;
                 (sext(w, x) >> shift) as u64
             }
-            TermData::Eq(a, b) =>
-
-                u64::from(
-                    self.eval(*a, env) & mask(self.width(*a))
-                        == self.eval(*b, env) & mask(self.width(*b)),
-                ),
+            TermData::Eq(a, b) => u64::from(
+                self.eval(*a, env) & mask(self.width(*a))
+                    == self.eval(*b, env) & mask(self.width(*b)),
+            ),
             TermData::Ult(a, b) => u64::from(
-                self.eval(*a, env) & mask(self.width(*a)) < self.eval(*b, env) & mask(self.width(*b)),
+                self.eval(*a, env) & mask(self.width(*a))
+                    < self.eval(*b, env) & mask(self.width(*b)),
             ),
             TermData::Slt(a, b) => {
                 let wa = self.width(*a);
@@ -575,7 +594,13 @@ mod tests {
         let a = p.constant(32, 7);
         let b = p.constant(32, 5);
         let s = p.add(a, b);
-        assert_eq!(p.data(s), &TermData::Const { width: 32, value: 12 });
+        assert_eq!(
+            p.data(s),
+            &TermData::Const {
+                width: 32,
+                value: 12
+            }
+        );
         let x = p.var(32, "x");
         let zero = p.constant(32, 0);
         assert_eq!(p.add(x, zero), x);
@@ -606,8 +631,9 @@ mod tests {
         let sum = p.add(x, y);
         let shifted = p.shl(sum, five);
         let cmp = p.ult(x, y);
-        let env: HashMap<String, u64> =
-            [("x".to_string(), 3u64), ("y".to_string(), 11u64)].into_iter().collect();
+        let env: HashMap<String, u64> = [("x".to_string(), 3u64), ("y".to_string(), 11u64)]
+            .into_iter()
+            .collect();
         assert_eq!(p.eval(shifted, &env), (3u64 + 11) << 5);
         assert_eq!(p.eval(cmp, &env), 1);
     }
@@ -629,8 +655,9 @@ mod tests {
         let lo = p.extract(31, 0, x);
         let hi = p.extract(63, 32, x);
         let back = p.concat(hi, lo);
-        let env: HashMap<String, u64> =
-            [("x".to_string(), 0x1234_5678_9abc_def0u64)].into_iter().collect();
+        let env: HashMap<String, u64> = [("x".to_string(), 0x1234_5678_9abc_def0u64)]
+            .into_iter()
+            .collect();
         assert_eq!(p.eval(back, &env), 0x1234_5678_9abc_def0);
         let sx = p.sign_ext(64, lo);
         assert_eq!(p.eval(sx, &env), 0xffff_ffff_9abc_def0);
@@ -673,11 +700,16 @@ mod tests {
         let f1 = p.uf(0, vec![x, y], 64);
         let f2 = p.uf(0, vec![x, y], 64);
         assert_eq!(f1, f2, "identical applications are the same term");
-        let env: HashMap<String, u64> =
-            [("x".to_string(), 3u64), ("y".to_string(), 4u64)].into_iter().collect();
+        let env: HashMap<String, u64> = [("x".to_string(), 3u64), ("y".to_string(), 4u64)]
+            .into_iter()
+            .collect();
         assert_eq!(p.eval(f1, &env), p.eval(f2, &env));
         let g = p.uf(1, vec![x, y], 64);
-        assert_ne!(p.eval(f1, &env), p.eval(g, &env), "different functions differ (w.h.p.)");
+        assert_ne!(
+            p.eval(f1, &env),
+            p.eval(g, &env),
+            "different functions differ (w.h.p.)"
+        );
     }
 
     #[test]

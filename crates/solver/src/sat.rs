@@ -158,7 +158,10 @@ pub struct Solver {
 impl Solver {
     /// Create an empty solver.
     pub fn new() -> Solver {
-        Solver { activity_inc: 1.0, ..Solver::default() }
+        Solver {
+            activity_inc: 1.0,
+            ..Solver::default()
+        }
     }
 
     /// Allocate a fresh variable.
@@ -195,7 +198,11 @@ impl Solver {
     /// ignored as trivially true. Adding an empty clause makes the
     /// instance unsatisfiable.
     pub fn add_clause(&mut self, lits: &[Lit]) {
-        debug_assert_eq!(self.trail_lim.len(), 0, "clauses must be added at decision level 0");
+        debug_assert_eq!(
+            self.trail_lim.len(),
+            0,
+            "clauses must be added at decision level 0"
+        );
         let mut lits: Vec<Lit> = lits.to_vec();
         lits.sort_unstable();
         lits.dedup();
@@ -208,21 +215,24 @@ impl Solver {
         // Remove literals already false at level 0; drop clause if any
         // literal is already true at level 0.
         lits.retain(|l| self.lit_value(*l) != Value::False || self.level[l.var().index()] != 0);
-        if lits.iter().any(|l| self.lit_value(*l) == Value::True && self.level[l.var().index()] == 0)
+        if lits
+            .iter()
+            .any(|l| self.lit_value(*l) == Value::True && self.level[l.var().index()] == 0)
         {
             return;
         }
         match lits.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(lits[0], REASON_NONE) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(lits[0], REASON_NONE) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
             _ => {
-                self.attach_clause(Clause { lits, learnt: false });
+                self.attach_clause(Clause {
+                    lits,
+                    learnt: false,
+                });
             }
         }
     }
@@ -386,7 +396,10 @@ impl Solver {
                 break;
             }
             clause_idx = self.reason[l.var().index()];
-            debug_assert!(clause_idx < REASON_DECISION, "resolved literal must have a reason");
+            debug_assert!(
+                clause_idx < REASON_DECISION,
+                "resolved literal must have a reason"
+            );
         }
 
         // Backjump level = second highest level in the learnt clause.
@@ -417,7 +430,7 @@ impl Solver {
         for (i, val) in self.assign.iter().enumerate() {
             if *val == Value::Unassigned {
                 let act = self.activity[i];
-                if best.map_or(true, |(a, _)| act > a) {
+                if best.is_none_or(|(a, _)| act > a) {
                     best = Some((act, Var(i as u32)));
                 }
             }
@@ -456,7 +469,10 @@ impl Solver {
                     let ok = self.enqueue(learnt[0], REASON_NONE);
                     debug_assert!(ok);
                 } else {
-                    let ci = self.attach_clause(Clause { lits: learnt.clone(), learnt: true });
+                    let ci = self.attach_clause(Clause {
+                        lits: learnt.clone(),
+                        learnt: true,
+                    });
                     let ok = self.enqueue(learnt[0], ci);
                     debug_assert!(ok);
                 }
@@ -533,17 +549,18 @@ mod tests {
         // 3 pigeons, 2 holes: classic small UNSAT instance that requires
         // actual search (not just unit propagation).
         let mut s = Solver::new();
-        let p: Vec<Vec<Var>> =
-            (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
         // Each pigeon in some hole.
-        for i in 0..3 {
-            s.add_clause(&[p[i][0].positive(), p[i][1].positive()]);
+        for pigeon in &p {
+            s.add_clause(&[pigeon[0].positive(), pigeon[1].positive()]);
         }
         // No two pigeons share a hole.
         for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+            for (i, pi) in p.iter().enumerate() {
+                for pj in &p[i + 1..] {
+                    s.add_clause(&[pi[h].negative(), pj[h].negative()]);
                 }
             }
         }
@@ -571,7 +588,7 @@ mod tests {
         let mut s = Solver::new();
         let x: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
         let t = s.new_var(); // t = x0 ^ x1
-        // t <-> x0 xor x1
+                             // t <-> x0 xor x1
         s.add_clause(&[t.negative(), x[0].positive(), x[1].positive()]);
         s.add_clause(&[t.negative(), x[0].negative(), x[1].negative()]);
         s.add_clause(&[t.positive(), x[0].negative(), x[1].positive()]);

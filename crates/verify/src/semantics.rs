@@ -208,7 +208,15 @@ impl<'a> SymExecutor<'a> {
         self.pool.or(lt, eq_and_bin)
     }
 
-    fn set_flags_add(&mut self, st: &mut SymState, w: Width, a: TermId, b: TermId, cin: TermId, r: TermId) {
+    fn set_flags_add(
+        &mut self,
+        st: &mut SymState,
+        w: Width,
+        a: TermId,
+        b: TermId,
+        cin: TermId,
+        r: TermId,
+    ) {
         let cf = self.carry_out(a, cin, r);
         st.write_flag(Flag::Cf, cf);
         let sa = self.sign_bit(w, a);
@@ -221,7 +229,15 @@ impl<'a> SymExecutor<'a> {
         self.set_result_flags(st, w, r);
     }
 
-    fn set_flags_sub(&mut self, st: &mut SymState, w: Width, a: TermId, b: TermId, bin: TermId, r: TermId) {
+    fn set_flags_sub(
+        &mut self,
+        st: &mut SymState,
+        w: Width,
+        a: TermId,
+        b: TermId,
+        bin: TermId,
+        r: TermId,
+    ) {
         let cf = self.borrow_out(a, b, bin);
         st.write_flag(Flag::Cf, cf);
         let sa = self.sign_bit(w, a);
@@ -282,7 +298,11 @@ impl<'a> SymExecutor<'a> {
             Opcode::Lea(w) => {
                 let m = ops[0].as_mem().expect("lea source is memory");
                 let a = self.addr(st, &m);
-                let a = if w == Width::Q { a } else { self.pool.extract(w.bits() - 1, 0, a) };
+                let a = if w == Width::Q {
+                    a
+                } else {
+                    self.pool.extract(w.bits() - 1, 0, a)
+                };
                 self.write(st, &ops[1], w, a);
             }
             Opcode::Xchg(w) => {
@@ -528,7 +548,7 @@ impl<'a> SymExecutor<'a> {
                 let lanes = self.lanes32(src);
                 let pick = |sel: u64| lanes[(sel & 3) as usize];
                 let out = [pick(imm), pick(imm >> 2), pick(imm >> 4), pick(imm >> 6)];
-                let r = self.from_lanes32(out);
+                let r = self.xmm_from_lanes32(out);
                 self.write128(st, &ops[2], r);
             }
             Opcode::Shufps => {
@@ -543,7 +563,7 @@ impl<'a> SymExecutor<'a> {
                     s[((imm >> 4) & 3) as usize],
                     s[((imm >> 6) & 3) as usize],
                 ];
-                let r = self.from_lanes32(out);
+                let r = self.xmm_from_lanes32(out);
                 self.write128(st, &ops[2], r);
             }
             Opcode::Punpckldq => {
@@ -551,7 +571,7 @@ impl<'a> SymExecutor<'a> {
                 let dst = self.read128(st, &ops[1]);
                 let s = self.lanes32(src);
                 let d = self.lanes32(dst);
-                let r = self.from_lanes32([d[0], s[0], d[1], s[1]]);
+                let r = self.xmm_from_lanes32([d[0], s[0], d[1], s[1]]);
                 self.write128(st, &ops[1], r);
             }
             Opcode::Punpcklqdq => {
@@ -647,7 +667,11 @@ impl<'a> SymExecutor<'a> {
         if w == Width::Q {
             if self.is_const(a) || self.is_const(b) {
                 let lo = self.pool.mul(a, b);
-                let hi = if signed { self.mulhi_s64(a, b) } else { self.mulhi_u64(a, b) };
+                let hi = if signed {
+                    self.mulhi_s64(a, b)
+                } else {
+                    self.mulhi_u64(a, b)
+                };
                 return (lo, hi);
             }
             let lo = self.pool.uf(UF_MULLO64, vec![a, b], 64);
@@ -832,7 +856,7 @@ impl<'a> SymExecutor<'a> {
         ]
     }
 
-    fn from_lanes32(&mut self, l: [TermId; 4]) -> SymXmm {
+    fn xmm_from_lanes32(&mut self, l: [TermId; 4]) -> SymXmm {
         let lo = self.pool.concat(l[1], l[0]);
         let hi = self.pool.concat(l[3], l[2]);
         (lo, hi)
@@ -846,7 +870,7 @@ impl<'a> SymExecutor<'a> {
         f: impl Fn(&mut TermPool, TermId, TermId) -> TermId,
     ) -> SymXmm {
         let mut out = [a.0, a.1];
-        for word in 0..2 {
+        for (word, slot) in out.iter_mut().enumerate() {
             let aw = if word == 0 { a.0 } else { a.1 };
             let bw = if word == 0 { b.0 } else { b.1 };
             let lanes = 64 / lane_bits;
@@ -862,7 +886,7 @@ impl<'a> SymExecutor<'a> {
                     Some(prev) => self.pool.concat(r, prev),
                 });
             }
-            out[word] = acc.expect("at least one lane");
+            *slot = acc.expect("at least one lane");
         }
         (out[0], out[1])
     }
@@ -916,6 +940,12 @@ impl<'a> SymExecutor<'a> {
             return (zero, zero);
         }
         let c = self.c(lane_bits, count);
-        self.map_lanes(dst, dst, lane_bits, |p, a, _| if left { p.shl(a, c) } else { p.lshr(a, c) })
+        self.map_lanes(dst, dst, lane_bits, |p, a, _| {
+            if left {
+                p.shl(a, c)
+            } else {
+                p.lshr(a, c)
+            }
+        })
     }
 }

@@ -48,7 +48,11 @@ pub const UF_IDIV_REM: u32 = 1007;
 impl SymMemory {
     /// An empty memory with no recorded writes.
     pub fn new(prefix: impl Into<String>) -> SymMemory {
-        SymMemory { stack: HashMap::new(), writes: Vec::new(), prefix: prefix.into() }
+        SymMemory {
+            stack: HashMap::new(),
+            writes: Vec::new(),
+            prefix: prefix.into(),
+        }
     }
 
     /// Read one byte at a symbolic address.
@@ -71,7 +75,7 @@ impl SymMemory {
     /// Read `bytes` bytes little-endian at a symbolic address, producing a
     /// term of width `8 * bytes` (at most 8 bytes).
     pub fn load(&self, pool: &mut TermPool, addr: TermId, bytes: u64) -> TermId {
-        assert!(bytes >= 1 && bytes <= 8);
+        assert!((1..=8).contains(&bytes));
         let mut acc: Option<TermId> = None;
         for i in 0..bytes {
             let off = pool.constant(64, i);
@@ -88,7 +92,7 @@ impl SymMemory {
     /// Store a term of width `8 * bytes` little-endian at a symbolic
     /// address.
     pub fn store(&mut self, pool: &mut TermPool, addr: TermId, value: TermId, bytes: u64) {
-        assert!(bytes >= 1 && bytes <= 8);
+        assert!((1..=8).contains(&bytes));
         for i in 0..bytes {
             let off = pool.constant(64, i);
             let a = pool.add(addr, off);
@@ -148,16 +152,21 @@ impl SymState {
     /// names make their inputs identical.
     pub fn initial(pool: &mut TermPool, prefix: impl Into<String>) -> SymState {
         let prefix = prefix.into();
-        let gprs = std::array::from_fn(|i| pool.var(64, format!("in_{}", Gpr::from_index(i).name64())));
+        let gprs =
+            std::array::from_fn(|i| pool.var(64, format!("in_{}", Gpr::from_index(i).name64())));
         let xmms = std::array::from_fn(|i| {
             (
                 pool.var(64, format!("in_xmm{}_lo", i)),
                 pool.var(64, format!("in_xmm{}_hi", i)),
             )
         });
-        let flags =
-            std::array::from_fn(|i| pool.var(1, format!("in_{}", Flag::ALL[i].name())));
-        SymState { gprs, xmms, flags, memory: SymMemory::new(prefix) }
+        let flags = std::array::from_fn(|i| pool.var(1, format!("in_{}", Flag::ALL[i].name())));
+        SymState {
+            gprs,
+            xmms,
+            flags,
+            memory: SymMemory::new(prefix),
+        }
     }
 
     /// Read a register view as a term of the view's width.

@@ -7,7 +7,11 @@
 use crate::kernels::{Kernel, ParamKind};
 use stoke_ir::ir::{Function, Op, ValueId};
 
-fn kernel32(name: &'static str, params: usize, build: impl FnOnce(&mut Function, &[ValueId])) -> Kernel {
+fn kernel32(
+    name: &'static str,
+    params: usize,
+    build: impl FnOnce(&mut Function, &[ValueId]),
+) -> Kernel {
     let mut f = Function::new(name, params);
     let ps: Vec<ValueId> = (0..params).map(|i| f.push32(Op::Param(i))).collect();
     build(&mut f, &ps);
@@ -398,8 +402,7 @@ pub fn p25() -> Kernel {
         let hh = f.push32(Op::Mul(x_hi, y_hi));
         let t = {
             let ll_hi = f.push32(Op::Shr(ll, c16));
-            let a = f.push32(Op::Add(hl, ll_hi));
-            a
+            f.push32(Op::Add(hl, ll_hi))
         };
         let t_lo = f.push32(Op::And(t, mask));
         let t_hi = f.push32(Op::Shr(t, c16));
@@ -472,7 +475,10 @@ mod tests {
         assert_eq!(eval1(&p09(), (-5i32) as u32 as u64), 5);
         assert_eq!(eval1(&p09(), 5), 5);
         assert_eq!(eval2(&p14(), 7, 9), 8);
-        assert_eq!(eval2(&p14(), u32::MAX as u64, u32::MAX as u64 - 1), u64::from(u32::MAX) - 1);
+        assert_eq!(
+            eval2(&p14(), u32::MAX as u64, u32::MAX as u64 - 1),
+            u64::from(u32::MAX) - 1
+        );
         assert_eq!(eval2(&p15(), 7, 10), 9);
         assert_eq!(eval2(&p16(), 3, 9), 9);
         assert_eq!(eval2(&p16(), (-3i32) as u32 as u64, 2), 2);
@@ -490,7 +496,10 @@ mod tests {
             eval2(&p25(), 0xffff_ffff, 0xffff_ffff),
             (0xffff_ffffu64 * 0xffff_ffffu64) >> 32
         );
-        assert_eq!(eval2(&p25(), 123_456, 654_321), (123_456u64 * 654_321) >> 32);
+        assert_eq!(
+            eval2(&p25(), 123_456, 654_321),
+            (123_456u64 * 654_321) >> 32
+        );
     }
 
     #[test]
@@ -514,7 +523,13 @@ mod tests {
         for x in [0b0011u64, 0b0101, 0b0110, 0b1001_1100, 7, 12] {
             let r = evaluate(&k.ir, &[x], &mut BTreeMap::new());
             assert!(r > x, "{:b} -> {:b}", x, r);
-            assert_eq!((r as u32).count_ones(), (x as u32).count_ones(), "{:b} -> {:b}", x, r);
+            assert_eq!(
+                (r as u32).count_ones(),
+                (x as u32).count_ones(),
+                "{:b} -> {:b}",
+                x,
+                r
+            );
             // And it is the *next* such number.
             for between in (x + 1)..r {
                 assert_ne!(
@@ -541,20 +556,50 @@ mod tests {
     #[test]
     fn p10_p11_p12_nlz_relations() {
         let nlz = |x: u64| (x as u32).leading_zeros();
-        for (x, y) in [(1u64, 1u64), (0x80, 0xff), (0xff, 0x80), (0x10, 0x1000), (7, 7)] {
-            assert_eq!(eval2(&p10(), x, y), u64::from(nlz(x) == nlz(y)), "p10({:x},{:x})", x, y);
-            assert_eq!(eval2(&p11(), x, y), u64::from(nlz(x) < nlz(y)), "p11({:x},{:x})", x, y);
-            assert_eq!(eval2(&p12(), x, y), u64::from(nlz(x) <= nlz(y)), "p12({:x},{:x})", x, y);
+        for (x, y) in [
+            (1u64, 1u64),
+            (0x80, 0xff),
+            (0xff, 0x80),
+            (0x10, 0x1000),
+            (7, 7),
+        ] {
+            assert_eq!(
+                eval2(&p10(), x, y),
+                u64::from(nlz(x) == nlz(y)),
+                "p10({:x},{:x})",
+                x,
+                y
+            );
+            assert_eq!(
+                eval2(&p11(), x, y),
+                u64::from(nlz(x) < nlz(y)),
+                "p11({:x},{:x})",
+                x,
+                y
+            );
+            assert_eq!(
+                eval2(&p12(), x, y),
+                u64::from(nlz(x) <= nlz(y)),
+                "p12({:x},{:x})",
+                x,
+                y
+            );
         }
     }
 
     #[test]
     fn star_annotations_match_figure_10() {
-        let starred: Vec<&str> =
-            all().into_iter().filter(|k| k.star).map(|k| k.name).collect();
+        let starred: Vec<&str> = all()
+            .into_iter()
+            .filter(|k| k.star)
+            .map(|k| k.name)
+            .collect();
         assert_eq!(starred, vec!["p18", "p21", "p22", "p23", "p25"]);
-        let timed_out: Vec<&str> =
-            all().into_iter().filter(|k| k.synthesis_times_out).map(|k| k.name).collect();
+        let timed_out: Vec<&str> = all()
+            .into_iter()
+            .filter(|k| k.synthesis_times_out)
+            .map(|k| k.name)
+            .collect();
         assert_eq!(timed_out, vec!["p19", "p20", "p24"]);
     }
 }

@@ -228,16 +228,30 @@ pub fn saxpy() -> Kernel {
     let y = f.push64(Op::Param(2));
     for lane in 0..4 {
         let off = 4 * lane;
-        let xi = f.push32(Op::Load { base: x, offset: off });
-        let yi = f.push32(Op::Load { base: y, offset: off });
+        let xi = f.push32(Op::Load {
+            base: x,
+            offset: off,
+        });
+        let yi = f.push32(Op::Load {
+            base: y,
+            offset: off,
+        });
         let ax = f.push32(Op::Mul(a, xi));
         let r = f.push32(Op::Add(ax, yi));
-        f.push32(Op::Store { base: x, offset: off, value: r });
+        f.push32(Op::Store {
+            base: x,
+            offset: off,
+            value: r,
+        });
     }
     let mut k = Kernel {
         name: "saxpy",
         ir: f,
-        params: vec![ParamKind::Value32, ParamKind::Pointer(16), ParamKind::Pointer(16)],
+        params: vec![
+            ParamKind::Value32,
+            ParamKind::Pointer(16),
+            ParamKind::Pointer(16),
+        ],
         live_out: LocSet::new(),
         star: true,
         synthesis_times_out: false,
@@ -272,11 +286,21 @@ pub fn linked_list() -> Kernel {
     // next at offset 8 (64-bit). Returns the next pointer.
     let mut f = Function::new("list", 1);
     let node = f.push64(Op::Param(0));
-    let val = f.push32(Op::Load { base: node, offset: 0 });
+    let val = f.push32(Op::Load {
+        base: node,
+        offset: 0,
+    });
     let two = f.push32(Op::Const(2));
     let doubled = f.push32(Op::Mul(val, two));
-    f.push32(Op::Store { base: node, offset: 0, value: doubled });
-    let next = f.push64(Op::Load { base: node, offset: 8 });
+    f.push32(Op::Store {
+        base: node,
+        offset: 0,
+        value: doubled,
+    });
+    let next = f.push64(Op::Load {
+        base: node,
+        offset: 8,
+    });
     f.ret(next);
     Kernel {
         name: "list",
@@ -322,8 +346,20 @@ mod tests {
         let cases = [
             (0u64, 0u64, 0u64, 0u64, 0u64),
             (5, 7, 3, 2, 11),
-            (u64::MAX, u64::MAX, u32::MAX as u64, u32::MAX as u64, u64::MAX),
-            (0x1234_5678, 0xdead_beef_cafe_babe, 0x9abc_def0, 0x1357_9bdf, 42),
+            (
+                u64::MAX,
+                u64::MAX,
+                u32::MAX as u64,
+                u32::MAX as u64,
+                u64::MAX,
+            ),
+            (
+                0x1234_5678,
+                0xdead_beef_cafe_babe,
+                0x9abc_def0,
+                0x1357_9bdf,
+                42,
+            ),
         ];
         for (c0, np, ml, mh, c1) in cases {
             let m = (u128::from(mh & 0xffff_ffff) << 32) | u128::from(ml & 0xffff_ffff);
@@ -399,7 +435,11 @@ mod tests {
     #[test]
     fn figure_10_kernel_roster_is_complete() {
         let names: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
-        assert_eq!(names.len(), 28, "25 Hacker's Delight kernels + mont + list + saxpy");
+        assert_eq!(
+            names.len(),
+            28,
+            "25 Hacker's Delight kernels + mont + list + saxpy"
+        );
         for p in 1..=25 {
             let expected = format!("p{:02}", p);
             assert!(names.iter().any(|n| *n == expected), "missing {}", expected);

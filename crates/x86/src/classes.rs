@@ -35,7 +35,10 @@ impl OpcodeClasses {
     /// caller wants to exclude divisions or SSE instructions from the
     /// search).
     pub fn with_universe(universe: Vec<Opcode>) -> OpcodeClasses {
-        OpcodeClasses { universe, by_signature: HashMap::new() }
+        OpcodeClasses {
+            universe,
+            by_signature: HashMap::new(),
+        }
     }
 
     /// The opcode universe.
@@ -78,10 +81,17 @@ pub fn accepts_kinds(op: Opcode, kinds: &[OperandKind]) -> bool {
     if sig.len() != kinds.len() {
         return false;
     }
-    if kinds.iter().filter(|k| matches!(k, OperandKind::Mem)).count() > 1 {
+    if kinds
+        .iter()
+        .filter(|k| matches!(k, OperandKind::Mem))
+        .count()
+        > 1
+    {
         return false;
     }
-    sig.iter().zip(kinds).all(|(slot, kind)| slot.accepts(*kind))
+    sig.iter()
+        .zip(kinds)
+        .all(|(slot, kind)| slot.accepts(*kind))
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ impl LocSet {
 
     /// A set containing only the given general purpose registers.
     pub fn from_gprs(gprs: impl IntoIterator<Item = Gpr>) -> LocSet {
-        LocSet { gprs: gprs.into_iter().collect(), ..LocSet::default() }
+        LocSet {
+            gprs: gprs.into_iter().collect(),
+            ..LocSet::default()
+        }
     }
 
     /// Whether no location is live.
@@ -128,7 +131,10 @@ pub fn liveness(program: &Program, live_out: &LocSet) -> Vec<LocSet> {
 /// whose initial values may influence the live outputs. This is the
 /// paper's "live inputs with respect to the target".
 pub fn live_inputs(program: &Program, live_out: &LocSet) -> LocSet {
-    liveness(program, live_out).into_iter().next().unwrap_or_default()
+    liveness(program, live_out)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
 }
 
 /// Instruction indices whose results cannot influence the live outputs
@@ -174,7 +180,10 @@ mod tests {
         let live = liveness(&p, &live_rax());
         assert!(live[0].gprs.contains(&Gpr::Rdi));
         assert!(live[0].gprs.contains(&Gpr::Rsi));
-        assert!(!live[0].gprs.contains(&Gpr::Rax), "rax is killed by the first mov");
+        assert!(
+            !live[0].gprs.contains(&Gpr::Rax),
+            "rax is killed by the first mov"
+        );
         assert!(live[1].gprs.contains(&Gpr::Rax));
     }
 
@@ -247,8 +256,16 @@ mod tests {
         assert!(full.gprs.is_empty());
         assert!(partial.gprs.contains(&Gpr::Rdx));
 
-        let i = build::alu(AluOp::Add, Width::L, Gpr::Rsi.view(Width::L), Gpr::Rax.view(Width::L));
+        let i = build::alu(
+            AluOp::Add,
+            Width::L,
+            Gpr::Rsi.view(Width::L),
+            Gpr::Rax.view(Width::L),
+        );
         let (full, _) = defs(&i);
-        assert!(full.gprs.contains(&Gpr::Rax), "32-bit write zeroes the upper half: full def");
+        assert!(
+            full.gprs.contains(&Gpr::Rax),
+            "32-bit write zeroes the upper half: full def"
+        );
     }
 }

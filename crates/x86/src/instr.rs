@@ -12,9 +12,17 @@ use std::fmt;
 #[allow(missing_docs)] // field names are self-describing
 pub enum InstrError {
     /// The number of operands does not match the opcode's arity.
-    WrongArity { opcode: Opcode, expected: usize, found: usize },
+    WrongArity {
+        opcode: Opcode,
+        expected: usize,
+        found: usize,
+    },
     /// An operand is of a kind not accepted by its slot.
-    BadOperand { opcode: Opcode, slot: usize, found: OperandKind },
+    BadOperand {
+        opcode: Opcode,
+        slot: usize,
+        found: OperandKind,
+    },
     /// More than one operand is a memory reference.
     TwoMemoryOperands { opcode: Opcode },
 }
@@ -22,13 +30,25 @@ pub enum InstrError {
 impl fmt::Display for InstrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InstrError::WrongArity { opcode, expected, found } => write!(
+            InstrError::WrongArity {
+                opcode,
+                expected,
+                found,
+            } => write!(
                 f,
                 "opcode {} expects {} operands, found {}",
                 opcode, expected, found
             ),
-            InstrError::BadOperand { opcode, slot, found } => {
-                write!(f, "opcode {} does not accept {:?} in slot {}", opcode, found, slot)
+            InstrError::BadOperand {
+                opcode,
+                slot,
+                found,
+            } => {
+                write!(
+                    f,
+                    "opcode {} does not accept {:?} in slot {}",
+                    opcode, found, slot
+                )
             }
             InstrError::TwoMemoryOperands { opcode } => {
                 write!(f, "opcode {} given more than one memory operand", opcode)
@@ -76,7 +96,11 @@ impl Instruction {
         }
         for (slot, (spec, opnd)) in sig.iter().zip(&operands).enumerate() {
             if !spec.accepts(opnd.kind()) {
-                return Err(InstrError::BadOperand { opcode, slot, found: opnd.kind() });
+                return Err(InstrError::BadOperand {
+                    opcode,
+                    slot,
+                    found: opnd.kind(),
+                });
             }
         }
         if operands.iter().filter(|o| o.is_mem()).count() > 1 {
@@ -174,9 +198,7 @@ impl Instruction {
         if matches!(self.opcode, Opcode::Push | Opcode::Pop) {
             return Some(8);
         }
-        if self.mem_operand().is_none() {
-            return None;
-        }
+        self.mem_operand()?;
         Some(match self.opcode {
             Opcode::Mov128(_)
             | Opcode::SseBin(_)
@@ -433,7 +455,12 @@ pub mod build {
     }
 
     /// `bits op src, dst` (popcnt / bsf / bsr)
-    pub fn bits(op: BitOp, w: Width, src: impl Into<Operand>, dst: impl Into<Operand>) -> Instruction {
+    pub fn bits(
+        op: BitOp,
+        w: Width,
+        src: impl Into<Operand>,
+        dst: impl Into<Operand>,
+    ) -> Instruction {
         Instruction::new(Opcode::Bits(op, w), vec![src.into(), dst.into()]).unwrap()
     }
 }
@@ -473,7 +500,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_syntax() {
-        assert_eq!(movq(r(Gpr::Rsi, Width::Q), r(Gpr::R9, Width::Q)).to_string(), "movq rsi, r9");
+        assert_eq!(
+            movq(r(Gpr::Rsi, Width::Q), r(Gpr::R9, Width::Q)).to_string(),
+            "movq rsi, r9"
+        );
         assert_eq!(
             shift(ShiftOp::Shr, Width::Q, 32i64, r(Gpr::Rsi, Width::Q)).to_string(),
             "shrq 32, rsi"
@@ -496,7 +526,10 @@ mod tests {
         let i = addq(r(Gpr::Rdi, Width::Q), r(Gpr::Rax, Width::Q));
         let uses = i.gpr_uses();
         assert!(uses.contains(&Gpr::Rdi.full()));
-        assert!(uses.contains(&Gpr::Rax.full()), "read-modify-write dst is also read");
+        assert!(
+            uses.contains(&Gpr::Rax.full()),
+            "read-modify-write dst is also read"
+        );
         assert_eq!(i.gpr_defs(), vec![Gpr::Rax.full()]);
         assert!(i.flag_defs().contains(&Flag::Cf));
     }
@@ -553,8 +586,11 @@ mod tests {
     #[test]
     fn rmw_memory_both_loads_and_stores() {
         let m = Operand::Mem(Mem::base(Gpr::Rdi));
-        let i = Instruction::new(Opcode::Shift(ShiftOp::Shl, Width::L), vec![Operand::Imm(1), m])
-            .unwrap();
+        let i = Instruction::new(
+            Opcode::Shift(ShiftOp::Shl, Width::L),
+            vec![Operand::Imm(1), m],
+        )
+        .unwrap();
         assert!(i.loads());
         assert!(i.stores());
         assert_eq!(i.mem_width_bytes(), Some(4));

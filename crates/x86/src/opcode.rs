@@ -291,8 +291,12 @@ impl SseMov128 {
     }
 
     /// All 128-bit move flavours.
-    pub const ALL: [SseMov128; 4] =
-        [SseMov128::Movdqa, SseMov128::Movdqu, SseMov128::Movups, SseMov128::Movaps];
+    pub const ALL: [SseMov128; 4] = [
+        SseMov128::Movdqa,
+        SseMov128::Movdqu,
+        SseMov128::Movups,
+        SseMov128::Movaps,
+    ];
 }
 
 /// An opcode in the modelled x86-64 subset.
@@ -399,7 +403,13 @@ impl Opcode {
             v.push(Opcode::Mov(w));
         }
         v.push(Opcode::Movabs);
-        v.extend([Opcode::Movslq, Opcode::Movsbq, Opcode::Movsbl, Opcode::Movzbq, Opcode::Movzbl]);
+        v.extend([
+            Opcode::Movslq,
+            Opcode::Movsbq,
+            Opcode::Movsbl,
+            Opcode::Movzbq,
+            Opcode::Movzbl,
+        ]);
         for w in [L, Q] {
             v.push(Opcode::Lea(w));
             v.push(Opcode::Xchg(w));
@@ -439,7 +449,13 @@ impl Opcode {
             v.push(Opcode::Div(w));
             v.push(Opcode::Idiv(w));
         }
-        for op in [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar, ShiftOp::Rol, ShiftOp::Ror] {
+        for op in [
+            ShiftOp::Shl,
+            ShiftOp::Shr,
+            ShiftOp::Sar,
+            ShiftOp::Rol,
+            ShiftOp::Ror,
+        ] {
             for w in [L, Q] {
                 v.push(Opcode::Shift(op, w));
             }
@@ -466,7 +482,12 @@ impl Opcode {
         for op in SseShiftOp::ALL {
             v.push(Opcode::SseShift(op));
         }
-        v.extend([Opcode::Pshufd, Opcode::Shufps, Opcode::Punpckldq, Opcode::Punpcklqdq]);
+        v.extend([
+            Opcode::Pshufd,
+            Opcode::Shufps,
+            Opcode::Punpckldq,
+            Opcode::Punpcklqdq,
+        ]);
         v
     }
 
@@ -488,9 +509,11 @@ impl Opcode {
             | Opcode::Idiv(w)
             | Opcode::Shift(_, w)
             | Opcode::Bits(_, w) => Some(w),
-            Opcode::Movabs | Opcode::Push | Opcode::Pop | Opcode::MovqToXmm | Opcode::MovqFromXmm => {
-                Some(Width::Q)
-            }
+            Opcode::Movabs
+            | Opcode::Push
+            | Opcode::Pop
+            | Opcode::MovqToXmm
+            | Opcode::MovqFromXmm => Some(Width::Q),
             Opcode::Movslq | Opcode::Movsbq | Opcode::Movzbq => Some(Width::Q),
             Opcode::Movsbl | Opcode::Movzbl | Opcode::MovdToXmm | Opcode::MovdFromXmm => {
                 Some(Width::L)
@@ -662,11 +685,7 @@ impl Opcode {
         match self {
             Opcode::Nop => 0,
             Opcode::Mov(_) | Opcode::Movabs => 1,
-            Opcode::Movslq
-            | Opcode::Movsbq
-            | Opcode::Movsbl
-            | Opcode::Movzbq
-            | Opcode::Movzbl => 1,
+            Opcode::Movslq | Opcode::Movsbq | Opcode::Movsbl | Opcode::Movzbq | Opcode::Movzbl => 1,
             Opcode::Lea(_) => 1,
             Opcode::Xchg(_) => 2,
             Opcode::Push | Opcode::Pop => 2,
@@ -878,13 +897,21 @@ mod tests {
 
     #[test]
     fn flag_effects() {
-        assert!(Opcode::Alu(AluOp::Adc, Width::Q).flags_read().contains(&Flag::Cf));
-        assert!(Opcode::Alu(AluOp::Add, Width::Q).flags_written().contains(&Flag::Cf));
+        assert!(Opcode::Alu(AluOp::Adc, Width::Q)
+            .flags_read()
+            .contains(&Flag::Cf));
+        assert!(Opcode::Alu(AluOp::Add, Width::Q)
+            .flags_written()
+            .contains(&Flag::Cf));
         assert!(Opcode::Un(UnOp::Not, Width::Q).flags_written().is_empty());
-        assert!(Opcode::Cmov(Cond::E, Width::Q).flags_read().contains(&Flag::Zf));
+        assert!(Opcode::Cmov(Cond::E, Width::Q)
+            .flags_read()
+            .contains(&Flag::Zf));
         assert!(Opcode::Mov(Width::Q).flags_written().is_empty());
         // inc/dec preserve CF.
-        assert!(!Opcode::Un(UnOp::Inc, Width::Q).flags_written().contains(&Flag::Cf));
+        assert!(!Opcode::Un(UnOp::Inc, Width::Q)
+            .flags_written()
+            .contains(&Flag::Cf));
     }
 
     #[test]

@@ -67,17 +67,32 @@ pub struct Mem {
 impl Mem {
     /// A base-register-only address: `(base)`.
     pub fn base(base: Gpr) -> Mem {
-        Mem { base: Some(base), index: None, scale: Scale::S1, disp: 0 }
+        Mem {
+            base: Some(base),
+            index: None,
+            scale: Scale::S1,
+            disp: 0,
+        }
     }
 
     /// A base + displacement address: `disp(base)`.
     pub fn base_disp(base: Gpr, disp: i32) -> Mem {
-        Mem { base: Some(base), index: None, scale: Scale::S1, disp }
+        Mem {
+            base: Some(base),
+            index: None,
+            scale: Scale::S1,
+            disp,
+        }
     }
 
     /// A fully general scaled-index address: `disp(base, index, scale)`.
     pub fn base_index(base: Gpr, index: Gpr, scale: Scale, disp: i32) -> Mem {
-        Mem { base: Some(base), index: Some(index), scale, disp }
+        Mem {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 
     /// Registers read when computing the effective address.
@@ -234,43 +249,83 @@ pub struct SlotSpec {
 impl SlotSpec {
     /// A slot that only accepts a GPR of width `w`.
     pub const fn reg(w: Width) -> SlotSpec {
-        SlotSpec { reg: Some(w), imm: false, mem: false, xmm: false }
+        SlotSpec {
+            reg: Some(w),
+            imm: false,
+            mem: false,
+            xmm: false,
+        }
     }
 
     /// A slot that accepts a GPR of width `w` or a memory reference.
     pub const fn reg_mem(w: Width) -> SlotSpec {
-        SlotSpec { reg: Some(w), imm: false, mem: true, xmm: false }
+        SlotSpec {
+            reg: Some(w),
+            imm: false,
+            mem: true,
+            xmm: false,
+        }
     }
 
     /// A slot that accepts a GPR of width `w`, an immediate or a memory
     /// reference (a typical ALU source slot).
     pub const fn reg_imm_mem(w: Width) -> SlotSpec {
-        SlotSpec { reg: Some(w), imm: true, mem: true, xmm: false }
+        SlotSpec {
+            reg: Some(w),
+            imm: true,
+            mem: true,
+            xmm: false,
+        }
     }
 
     /// A slot that accepts a GPR of width `w` or an immediate.
     pub const fn reg_imm(w: Width) -> SlotSpec {
-        SlotSpec { reg: Some(w), imm: true, mem: false, xmm: false }
+        SlotSpec {
+            reg: Some(w),
+            imm: true,
+            mem: false,
+            xmm: false,
+        }
     }
 
     /// A slot that only accepts an immediate.
     pub const fn imm() -> SlotSpec {
-        SlotSpec { reg: None, imm: true, mem: false, xmm: false }
+        SlotSpec {
+            reg: None,
+            imm: true,
+            mem: false,
+            xmm: false,
+        }
     }
 
     /// A slot that only accepts a memory reference.
     pub const fn mem() -> SlotSpec {
-        SlotSpec { reg: None, imm: false, mem: true, xmm: false }
+        SlotSpec {
+            reg: None,
+            imm: false,
+            mem: true,
+            xmm: false,
+        }
     }
 
     /// A slot that only accepts an SSE register.
     pub const fn xmm() -> SlotSpec {
-        SlotSpec { reg: None, imm: false, mem: false, xmm: true }
+        SlotSpec {
+            reg: None,
+            imm: false,
+            mem: false,
+            xmm: true,
+        }
     }
 
     /// A slot that accepts an SSE register or a memory reference.
     pub const fn xmm_mem() -> SlotSpec {
-        SlotSpec { reg: None, imm: false, mem: true, xmm: true }
+        SlotSpec {
+            reg: None,
+            imm: false,
+            mem: true,
+            xmm: true,
+        }
     }
 
     /// Whether an operand of kind `k` is allowed in this slot.

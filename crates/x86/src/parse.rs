@@ -18,7 +18,7 @@
 //! else: unknown mnemonics and malformed operands are errors, because the
 //! benchmarks in `stoke-workloads` must only use modelled instructions.
 
-use crate::instr::{Instruction, InstrError};
+use crate::instr::{InstrError, Instruction};
 use crate::opcode::{AluOp, BitOp, Cond, Opcode, ShiftOp, SseBinOp, SseMov128, SseShiftOp, UnOp};
 use crate::operand::{Mem, Operand, Scale};
 use crate::program::Program;
@@ -44,7 +44,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse a whole program. See the module documentation for the accepted
@@ -71,7 +74,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                 .next()
                 .ok_or_else(|| err(line, ".set requires a name and a value"))?
                 .trim_end_matches(',');
-            let value = parts.next().ok_or_else(|| err(line, ".set requires a value"))?;
+            let value = parts
+                .next()
+                .ok_or_else(|| err(line, ".set requires a value"))?;
             let value = parse_int(value)
                 .ok_or_else(|| err(line, format!("bad constant value '{}'", value)))?;
             constants.insert(name.to_string(), value);
@@ -102,10 +107,7 @@ pub fn parse_instruction(
     Instruction::new(opcode, operands).map_err(|e: InstrError| e.to_string())
 }
 
-fn parse_operands(
-    text: &str,
-    constants: &HashMap<String, i64>,
-) -> Result<Vec<Operand>, String> {
+fn parse_operands(text: &str, constants: &HashMap<String, i64>) -> Result<Vec<Operand>, String> {
     if text.is_empty() {
         return Ok(vec![]);
     }
@@ -145,7 +147,9 @@ fn parse_int(text: &str) -> Option<i64> {
         u64::from_str_radix(hex, 16).ok()? as i64
     } else {
         // Parse through u64 so that full-width unsigned constants work.
-        text.parse::<i64>().ok().or_else(|| text.parse::<u64>().ok().map(|v| v as i64))?
+        text.parse::<i64>()
+            .ok()
+            .or_else(|| text.parse::<u64>().ok().map(|v| v as i64))?
     };
     Some(if neg { value.wrapping_neg() } else { value })
 }
@@ -224,7 +228,12 @@ fn parse_mem(text: &str, constants: &HashMap<String, i64>) -> Result<Mem, String
             Scale::from_factor(f as u64).ok_or_else(|| format!("bad scale '{}'", s))?
         }
     };
-    Ok(Mem { base, index, scale, disp })
+    Ok(Mem {
+        base,
+        index,
+        scale,
+        disp,
+    })
 }
 
 /// Resolve a mnemonic, using operand kinds to disambiguate (e.g. `movd`
@@ -536,7 +545,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p: Program = "# a comment\n\nmovq rdi, rax   # trailing\n".parse().unwrap();
+        let p: Program = "# a comment\n\nmovq rdi, rax   # trailing\n"
+            .parse()
+            .unwrap();
         assert_eq!(p.len(), 1);
     }
 
@@ -550,12 +561,17 @@ mod tests {
     #[test]
     fn salq_is_shlq() {
         let p: Program = "salq 32, rdx".parse().unwrap();
-        assert_eq!(p.instrs()[0].opcode(), Opcode::Shift(ShiftOp::Shl, Width::Q));
+        assert_eq!(
+            p.instrs()[0].opcode(),
+            Opcode::Shift(ShiftOp::Shl, Width::Q)
+        );
     }
 
     #[test]
     fn negative_and_hex_immediates() {
-        let p: Program = "addq -16, rsp\nmovabsq 0xffffffffffffffff, rax".parse().unwrap();
+        let p: Program = "addq -16, rsp\nmovabsq 0xffffffffffffffff, rax"
+            .parse()
+            .unwrap();
         assert_eq!(p.instrs()[0].operands()[0], Operand::Imm(-16));
         assert_eq!(p.instrs()[1].operands()[0], Operand::Imm(-1));
     }

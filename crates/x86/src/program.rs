@@ -80,7 +80,9 @@ impl fmt::Display for Program {
 
 impl FromIterator<Instruction> for Program {
     fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Program {
-        Program { instrs: iter.into_iter().collect() }
+        Program {
+            instrs: iter.into_iter().collect(),
+        }
     }
 }
 

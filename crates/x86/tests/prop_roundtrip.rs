@@ -37,13 +37,17 @@ fn any_instruction() -> impl Strategy<Value = Instruction> {
         // Register-register ALU at any width (the search universe only
         // carries adc/sbb at 32/64 bits, so the strategy mirrors that).
         (any_alu_op(), any_width(), any_gpr(), any_gpr())
-            .prop_filter("adc/sbb are modelled at 32/64 bits only", |(op, w, _, _)| {
-                !(matches!(op, AluOp::Adc | AluOp::Sbb) && *w == Width::B)
-            })
+            .prop_filter(
+                "adc/sbb are modelled at 32/64 bits only",
+                |(op, w, _, _)| { !(matches!(op, AluOp::Adc | AluOp::Sbb) && *w == Width::B) }
+            )
             .prop_map(|(op, w, a, b)| build::alu(op, w, a.view(w), b.view(w))),
         // Immediate-register moves.
-        (any_width(), any::<i32>(), any_gpr())
-            .prop_map(|(w, imm, r)| build::mov(w, i64::from(imm), r.view(w))),
+        (any_width(), any::<i32>(), any_gpr()).prop_map(|(w, imm, r)| build::mov(
+            w,
+            i64::from(imm),
+            r.view(w)
+        )),
         // Loads with base + index + scale + displacement addressing.
         (any_gpr(), any_gpr(), -64i32..64, any_gpr()).prop_map(|(base, index, disp, dst)| {
             build::movq(
@@ -52,12 +56,20 @@ fn any_instruction() -> impl Strategy<Value = Instruction> {
             )
         }),
         // Shifts by immediate.
-        (any_width().prop_filter("shift widths", |w| *w != Width::B), 0i64..64, any_gpr())
+        (
+            any_width().prop_filter("shift widths", |w| *w != Width::B),
+            0i64..64,
+            any_gpr()
+        )
             .prop_map(|(w, c, r)| build::shift(ShiftOp::Shr, w, c, r.view(w))),
         // Conditional set / move.
         (any_cond(), any_gpr()).prop_map(|(c, r)| build::setcc(c, r.view(Width::B))),
-        (any_cond(), any_gpr(), any_gpr())
-            .prop_map(|(c, a, b)| build::cmov(c, Width::Q, a.view(Width::Q), b.view(Width::Q))),
+        (any_cond(), any_gpr(), any_gpr()).prop_map(|(c, a, b)| build::cmov(
+            c,
+            Width::Q,
+            a.view(Width::Q),
+            b.view(Width::Q)
+        )),
         // Widening multiply and lea.
         any_gpr().prop_map(|r| build::mulq(r.view(Width::Q))),
         (any_gpr(), -32i32..32, any_gpr())

@@ -25,20 +25,32 @@ fn optimize(kernel: &Kernel, iterations: u64) {
         .collect();
     let spec = TargetSpec::new(target.clone(), inputs, kernel.live_out.clone());
 
-    let mut config = Config::default();
-    config.ell = 16;
-    config.synthesis_iterations = iterations;
-    config.optimization_iterations = iterations;
-    config.threads = 2;
+    let config = Config {
+        ell: 16,
+        synthesis_iterations: iterations,
+        optimization_iterations: iterations,
+        threads: 2,
+        ..Config::default()
+    };
 
     println!("=== {} ===", kernel.name);
     println!("llvm -O0 stand-in: {} instructions", target.len());
-    println!("gcc -O3 stand-in : {} instructions", kernel.baseline_o3().len());
+    println!(
+        "gcc -O3 stand-in : {} instructions",
+        kernel.baseline_o3().len()
+    );
     let mut stoke = Stoke::new(config, spec);
     let result = stoke.run();
-    println!("STOKE rewrite ({} instructions, {:?}):", result.rewrite.len(), result.verification);
+    println!(
+        "STOKE rewrite ({} instructions, {:?}):",
+        result.rewrite.len(),
+        result.verification
+    );
     print!("{}", result.rewrite);
-    println!("estimated speedup over the -O0 target: {:.2}x\n", result.speedup());
+    println!(
+        "estimated speedup over the -O0 target: {:.2}x\n",
+        result.speedup()
+    );
 }
 
 fn main() {
@@ -49,16 +61,24 @@ fn main() {
     let kernel = hackers_delight::all()
         .into_iter()
         .find(|k| k.name == which)
-        .unwrap_or_else(|| hackers_delight::p01());
+        .unwrap_or_else(hackers_delight::p01);
     optimize(&kernel, iterations);
 
     // Figure 13: the p21 rewrite found by STOKE in the paper.
     let p21 = hackers_delight::p21();
-    let rewrite: Program = hackers_delight::P21_STOKE.parse().expect("paper rewrite parses");
+    let rewrite: Program = hackers_delight::P21_STOKE
+        .parse()
+        .expect("paper rewrite parses");
     println!("=== p21: Cycling Through 3 Values (Figure 13) ===");
-    println!("gcc -O3 stand-in ({} instructions):", p21.baseline_o3().len());
+    println!(
+        "gcc -O3 stand-in ({} instructions):",
+        p21.baseline_o3().len()
+    );
     print!("{}", p21.baseline_o3());
-    println!("STOKE rewrite from the paper ({} instructions):", rewrite.len());
+    println!(
+        "STOKE rewrite from the paper ({} instructions):",
+        rewrite.len()
+    );
     print!("{}", rewrite);
     println!(
         "static latency: {} -> {}",

@@ -10,7 +10,7 @@
 //! cycle estimates behind the paper's "16 lines shorter and 1.6x faster"
 //! headline.
 
-use stoke::{generate_testcases, CostFn, Config, InputSpec, TargetSpec};
+use stoke::{generate_testcases, Config, CostFn, InputSpec, TargetSpec};
 use stoke_emu::TimingModel;
 use stoke_workloads::kernels::{montgomery, MONT_GCC_O3, MONT_STOKE};
 use stoke_x86::flow::LocSet;
@@ -24,10 +24,26 @@ fn main() {
     let stoke_rewrite: Program = MONT_STOKE.parse().expect("paper STOKE code parses");
 
     println!("=== Montgomery multiplication: c1:c0 := np * mh:ml + c1 + c0 ===\n");
-    println!("llvm -O0 stand-in: {} instructions, H = {}", o0.len(), o0.static_latency());
-    println!("gcc -O3 stand-in : {} instructions, H = {}", o3.len(), o3.static_latency());
-    println!("gcc -O3 (paper)  : {} instructions, H = {}", gcc.len(), gcc.static_latency());
-    println!("STOKE   (paper)  : {} instructions, H = {}\n", stoke_rewrite.len(), stoke_rewrite.static_latency());
+    println!(
+        "llvm -O0 stand-in: {} instructions, H = {}",
+        o0.len(),
+        o0.static_latency()
+    );
+    println!(
+        "gcc -O3 stand-in : {} instructions, H = {}",
+        o3.len(),
+        o3.static_latency()
+    );
+    println!(
+        "gcc -O3 (paper)  : {} instructions, H = {}",
+        gcc.len(),
+        gcc.static_latency()
+    );
+    println!(
+        "STOKE   (paper)  : {} instructions, H = {}\n",
+        stoke_rewrite.len(),
+        stoke_rewrite.static_latency()
+    );
 
     println!("--- STOKE rewrite (Figure 1, right) ---\n{}", stoke_rewrite);
 
@@ -49,8 +65,14 @@ fn main() {
     let mut cost = CostFn::new(Config::default(), suite, gcc.static_latency());
     let instrs: Vec<_> = stoke_rewrite.iter().cloned().collect();
     let eq = cost.eq_prime(&instrs);
-    println!("test-case distance between the gcc code and the STOKE rewrite: {}", eq);
-    assert_eq!(eq, 0, "the two codes must agree on all 64 random test cases");
+    println!(
+        "test-case distance between the gcc code and the STOKE rewrite: {}",
+        eq
+    );
+    assert_eq!(
+        eq, 0,
+        "the two codes must agree on all 64 random test cases"
+    );
 
     let timing = TimingModel::default();
     let gcc_cycles = timing.cycles(&gcc);

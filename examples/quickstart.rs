@@ -30,19 +30,29 @@ fn main() {
 
     let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
 
-    let mut config = Config::default();
-    config.ell = 12;
-    config.synthesis_iterations = 50_000;
-    config.optimization_iterations = 100_000;
-    config.threads = 2;
+    let config = Config {
+        ell: 12,
+        synthesis_iterations: 50_000,
+        optimization_iterations: 100_000,
+        threads: 2,
+        ..Config::default()
+    };
 
-    println!("=== target ({} instructions, H(T) = {}) ===", target.len(), target.static_latency());
+    println!(
+        "=== target ({} instructions, H(T) = {}) ===",
+        target.len(),
+        target.static_latency()
+    );
     print!("{}", target);
 
     let mut stoke = Stoke::new(config, spec);
     let result = stoke.run();
 
-    println!("\n=== STOKE rewrite ({} instructions, H(R) = {}) ===", result.rewrite.len(), result.rewrite_latency);
+    println!(
+        "\n=== STOKE rewrite ({} instructions, H(R) = {}) ===",
+        result.rewrite.len(),
+        result.rewrite_latency
+    );
     print!("{}", result.rewrite);
     println!("\nverification: {:?}", result.verification);
     println!("estimated speedup: {:.2}x", result.speedup());

@@ -109,7 +109,11 @@ fn alu_and_flag_programs_agree() {
                 (Gpr::Rbx, rng.next()),
                 (Gpr::Rcx, rng.next()),
             ];
-            check_agreement(text, &inputs, &[Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rdi]);
+            check_agreement(
+                text,
+                &inputs,
+                &[Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rdi],
+            );
         }
     }
 }
@@ -140,7 +144,11 @@ fn shift_and_bit_programs_agree() {
                 (Gpr::Rbx, rng.next()),
                 (Gpr::Rdx, rng.next()),
             ];
-            check_agreement(text, &inputs, &[Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rdi]);
+            check_agreement(
+                text,
+                &inputs,
+                &[Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rdi],
+            );
         }
     }
 }
@@ -173,7 +181,11 @@ fn paper_rewrites_agree_between_engines() {
     use stoke_suite::workloads::hackers_delight::P21_STOKE;
     let mut rng = Rng(0x5ca1ab1e);
     for _ in 0..8 {
-        let vals = [rng.next() & 0xffff, rng.next() & 0xffff, rng.next() & 0xffff];
+        let vals = [
+            rng.next() & 0xffff,
+            rng.next() & 0xffff,
+            rng.next() & 0xffff,
+        ];
         let x = vals[(rng.next() % 3) as usize];
         let inputs = [
             (Gpr::Rdi, x),

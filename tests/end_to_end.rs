@@ -6,10 +6,10 @@
 use std::collections::BTreeMap;
 use stoke_suite::emu::{run, MachineState};
 use stoke_suite::ir::{evaluate, OptLevel};
+use stoke_suite::stoke::{generate_testcases, Config, CostFn, InputSpec, Stoke, TargetSpec};
 use stoke_suite::verify::Validator;
 use stoke_suite::workloads::{all_kernels, hackers_delight, ParamKind};
 use stoke_suite::x86::{flow::LocSet, Gpr, Program};
-use stoke_suite::stoke::{generate_testcases, Config, CostFn, InputSpec, Stoke, TargetSpec};
 
 const PARAM_REGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
 
@@ -178,7 +178,19 @@ fn figure_10_baselines_have_the_expected_shape() {
         let o0 = timing.cycles(&kernel.target_o0());
         let o2 = timing.cycles(&kernel.baseline_o2());
         let o3 = timing.cycles(&kernel.baseline_o3());
-        assert!(o0 > o3, "{}: O0 ({}) should be slower than O3 ({})", kernel.name, o0, o3);
-        assert!(o0 > o2, "{}: O0 ({}) should be slower than O2 ({})", kernel.name, o0, o2);
+        assert!(
+            o0 > o3,
+            "{}: O0 ({}) should be slower than O3 ({})",
+            kernel.name,
+            o0,
+            o3
+        );
+        assert!(
+            o0 > o2,
+            "{}: O0 ({}) should be slower than O2 ({})",
+            kernel.name,
+            o0,
+            o2
+        );
     }
 }

@@ -1,0 +1,72 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, implementing the one API this workspace uses —
+//! [`thread::scope`] — on top of `std::thread::scope` (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads).
+//!
+//! The build environment has no access to crates.io, so rather than gating
+//! the parallel-search paths behind a feature, the workspace vendors this
+//! thin adapter with crossbeam's `Result`-returning signature.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// A scope in which threads borrowing local state can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a reference to the
+        /// scope (crossbeam's nested-spawn convention); this stand-in
+        /// supports the common `|_| ...` form.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the enclosing
+    /// stack frame. Mirrors `crossbeam::thread::scope`: the `Result` is
+    /// `Ok` unless a spawned thread panicked without being joined (std
+    /// propagates such panics, so in practice this returns `Ok`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,85 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+///
+/// Statistically strong and extremely fast; not cryptographically secure,
+/// exactly like the upstream `StdRng` contract for this workspace's use
+/// (MCMC proposals and test-case generation).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-64i32..64);
+            assert!((-64..64).contains(&v));
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

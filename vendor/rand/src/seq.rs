@@ -1,0 +1,24 @@
+//! Sequence-related helpers (`SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Extension trait for choosing random slice elements.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniformly choose one element, or `None` if the slice is empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}
