@@ -13,13 +13,95 @@
 
 use std::fs;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
-use stoke::{generate_testcases, Chain, Config, CostFn, EqMetric, Rewrite};
-use stoke_bench::{run_kernel, spec_for, sweep_config};
+use stoke::{
+    generate_testcases, Chain, ChainProgress, CollectingObserver, Config, CostFn, EqMetric, Phase,
+    Rewrite, SearchEvent, SearchObserver, ValidationVerdict,
+};
+use stoke_bench::{run_kernel_observed, spec_for, sweep_config};
 use stoke_emu::{run as emulate, TimingModel};
 use stoke_verify::Validator;
 use stoke_workloads::{all_kernels, hackers_delight, kernels};
 use stoke_x86::Program;
+
+/// Streams pipeline events to stderr as they happen and delegates storage
+/// to a [`CollectingObserver`] for the per-kernel summary printed after
+/// each run.
+struct StreamingProgress {
+    kernel: String,
+    collected: CollectingObserver,
+}
+
+impl StreamingProgress {
+    fn new(kernel: &str) -> StreamingProgress {
+        StreamingProgress {
+            kernel: kernel.to_string(),
+            collected: CollectingObserver::new(),
+        }
+    }
+
+    /// One line summarizing the collected events of the finished run.
+    fn summary(&self) -> String {
+        let events = self.collected.drain();
+        let phases = events
+            .iter()
+            .filter(|e| matches!(e, SearchEvent::PhaseStart { .. }))
+            .count();
+        let candidates = events
+            .iter()
+            .filter(|e| matches!(e, SearchEvent::Candidate { .. }))
+            .count();
+        let proven = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SearchEvent::Validation {
+                        verdict: ValidationVerdict::Proven,
+                        ..
+                    }
+                )
+            })
+            .count();
+        format!("{phases} phases, {candidates} candidates re-ranked, {proven} proven")
+    }
+}
+
+impl SearchObserver for StreamingProgress {
+    fn on_phase_start(&self, target: usize, phase: Phase) {
+        eprintln!("  [{}] phase {:?}", self.kernel, phase);
+        self.collected.on_phase_start(target, phase);
+    }
+
+    fn on_chain_progress(&self, progress: &ChainProgress) {
+        eprintln!(
+            "  [{}] {:?} chain {}: {}/{} proposals, best cost {:.1}",
+            self.kernel,
+            progress.phase,
+            progress.chain,
+            progress.proposals,
+            progress.iterations,
+            progress.best_cost
+        );
+        self.collected.on_chain_progress(progress);
+    }
+
+    fn on_candidate(&self, target: usize, candidate: &Program, cost: f64) {
+        eprintln!(
+            "  [{}] candidate: {} instructions, cost {:.1}",
+            self.kernel,
+            candidate.len(),
+            cost
+        );
+        self.collected.on_candidate(target, candidate, cost);
+    }
+
+    fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
+        eprintln!("  [{}] validation: {:?}", self.kernel, verdict);
+        self.collected.on_validation(target, verdict);
+    }
+}
 
 fn results_file(name: &str) -> fs::File {
     fs::create_dir_all("results").expect("create results dir");
@@ -271,7 +353,11 @@ fn fig10(iterations: u64, threads: usize) {
         let o0 = t.cycles(&kernel.target_o0()).max(1);
         let o2 = t.cycles(&kernel.baseline_o2()).max(1);
         let o3 = t.cycles(&kernel.baseline_o3()).max(1);
-        let result = run_kernel(&kernel, iterations, threads);
+        // Pipeline events stream to stderr live as the search runs; the
+        // collected copy becomes the one-line summary below.
+        let observer = Arc::new(StreamingProgress::new(kernel.name));
+        let result = run_kernel_observed(&kernel, iterations, threads, observer.clone());
+        eprintln!("  [{}] {}", kernel.name, observer.summary());
         let stoke_speedup = o0 as f64 / result.rewrite_cycles.max(1) as f64;
         println!(
             "{:<8}{:>6}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>12.2}  {:?}",

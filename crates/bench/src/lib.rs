@@ -8,7 +8,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use stoke::{Config, InputSpec, Stoke, StokeResult, TargetSpec};
+use std::sync::Arc;
+use stoke::{Config, InputSpec, SearchObserver, Session, StokeResult, TargetSpec};
 use stoke_workloads::{Kernel, ParamKind};
 use stoke_x86::Gpr;
 
@@ -47,9 +48,22 @@ pub fn sweep_config(iterations: u64, threads: usize) -> Config {
 
 /// Run STOKE on one kernel with the sweep configuration.
 pub fn run_kernel(kernel: &Kernel, iterations: u64, threads: usize) -> StokeResult {
+    run_kernel_observed(kernel, iterations, threads, Arc::new(stoke::NullObserver))
+}
+
+/// Run STOKE on one kernel, streaming pipeline events to `observer` (used
+/// by the `experiments` binary to report per-phase progress).
+pub fn run_kernel_observed(
+    kernel: &Kernel,
+    iterations: u64,
+    threads: usize,
+    observer: Arc<dyn SearchObserver>,
+) -> StokeResult {
     let spec = spec_for(kernel);
-    let mut stoke = Stoke::new(sweep_config(iterations, threads), spec);
-    stoke.run()
+    Session::new(sweep_config(iterations, threads))
+        .with_observer(observer)
+        .run(&spec)
+        .expect("kernel sweep targets are non-empty and the sweep config is valid")
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! Search configuration: the MCMC parameters of Figure 11 plus the knobs
 //! this reproduction adds (iteration budgets, thread counts, cost-function
-//! variants).
+//! variants), and the validating [`ConfigBuilder`] used by the
+//! session-based driver API.
 
+use crate::error::ConfigError;
 use stoke_x86::{Gpr, Opcode};
 
 /// Which register-equality metric the cost function uses (§4.6).
@@ -28,7 +30,7 @@ pub enum EqMetric {
 /// | `wm` | 3 | | `pi` (instruction move) | 0.16 |
 /// | `β` | 0.1 | | `pu` (unused token) | 0.16 |
 /// | `ℓ` | 50 | | test cases | 32 |
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Config {
     /// Weight of a segmentation fault in `err(·)`.
     pub wsf: u64,
@@ -153,13 +155,196 @@ impl Config {
         }
     }
 
+    /// Start building a configuration from the Figure 11 defaults; every
+    /// field has a setter and [`ConfigBuilder::build`] validates the
+    /// invariants that a raw struct literal could violate silently.
+    ///
+    /// ```
+    /// use stoke::Config;
+    /// let config = Config::builder()
+    ///     .ell(16)
+    ///     .threads(2)
+    ///     .synthesis_iterations(10_000)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(config.ell, 16);
+    /// ```
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// Check every invariant the builder enforces. The fields are still
+    /// `pub` (raw struct construction remains supported for one release),
+    /// so [`Session`](crate::driver::Session) re-validates on every run.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("pc", self.pc),
+            ("po", self.po),
+            ("ps", self.ps),
+            ("pi", self.pi),
+            ("pu", self.pu),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::InvalidMoveProbability { field, value });
+            }
+        }
+        if self.pc + self.po + self.ps + self.pi == 0.0 {
+            return Err(ConfigError::AllMoveProbabilitiesZero);
+        }
+        // pc..pi are relative weights (normalized by move_cdf), but pu is
+        // compared against a uniform sample directly, so it must be a
+        // genuine probability.
+        if self.pu > 1.0 {
+            return Err(ConfigError::UnusedProbabilityOutOfRange { value: self.pu });
+        }
+        if self.ell == 0 {
+            return Err(ConfigError::ZeroRewriteLength);
+        }
+        if self.opcode_pool.is_empty() {
+            return Err(ConfigError::EmptyOpcodePool);
+        }
+        if self.register_pool.is_empty() {
+            return Err(ConfigError::EmptyRegisterPool);
+        }
+        if !self.rerank_margin.is_finite() || self.rerank_margin < 1.0 {
+            return Err(ConfigError::RerankMarginTooSmall {
+                value: self.rerank_margin,
+            });
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if !self.beta.is_finite() || self.beta <= 0.0 {
+            return Err(ConfigError::InvalidBeta { value: self.beta });
+        }
+        if !self.perf_weight.is_finite() || self.perf_weight < 0.0 {
+            return Err(ConfigError::InvalidPerfWeight {
+                value: self.perf_weight,
+            });
+        }
+        if self.num_testcases == 0 {
+            return Err(ConfigError::ZeroTestcases);
+        }
+        Ok(())
+    }
+
     /// Move probabilities as a cumulative distribution, normalized.
+    ///
+    /// An all-zero move distribution is unrepresentable through the
+    /// builder; raw-struct construction can still produce one, which this
+    /// guards against (a debug assertion, and a uniform fallback in
+    /// release builds rather than a division by zero propagating NaN into
+    /// the acceptance test).
     pub(crate) fn move_cdf(&self) -> [f64; 4] {
         let total = self.pc + self.po + self.ps + self.pi;
+        debug_assert!(
+            total > 0.0,
+            "move probabilities pc + po + ps + pi must not all be zero \
+             (use Config::builder() to get this checked at construction)"
+        );
+        if total <= 0.0 {
+            return [0.25, 0.5, 0.75, 1.0];
+        }
         let pc = self.pc / total;
         let po = self.po / total;
         let ps = self.ps / total;
         [pc, pc + po, pc + po + ps, 1.0]
+    }
+}
+
+/// Builder for [`Config`] with per-field setters and validated
+/// construction; see [`Config::builder`].
+#[derive(Debug, Clone, Default)]
+#[must_use = "a ConfigBuilder does nothing until .build() is called"]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> ConfigBuilder {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl ConfigBuilder {
+    /// Start from an existing configuration instead of the defaults.
+    pub fn from_config(config: Config) -> ConfigBuilder {
+        ConfigBuilder { config }
+    }
+
+    /// Start from the scaled-down [`Config::quick_test`] preset.
+    pub fn quick_test() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::quick_test(),
+        }
+    }
+
+    builder_setters! {
+        /// Weight of a segmentation fault in `err(·)`.
+        wsf: u64,
+        /// Weight of an arithmetic exception.
+        wfp: u64,
+        /// Weight of a read from an undefined location.
+        wur: u64,
+        /// Misplacement penalty of the improved equality metric.
+        wm: u64,
+        /// Probability of an opcode move.
+        pc: f64,
+        /// Probability of an operand move.
+        po: f64,
+        /// Probability of a swap move.
+        ps: f64,
+        /// Probability of an instruction move.
+        pi: f64,
+        /// Probability that an instruction move proposes the `UNUSED` token.
+        pu: f64,
+        /// The annealing constant β of Equation 6.
+        beta: f64,
+        /// Rewrite length ℓ (number of instruction slots).
+        ell: usize,
+        /// Number of test cases generated per target.
+        num_testcases: usize,
+        /// Which register equality metric to use.
+        eq_metric: EqMetric,
+        /// Whether to use the early-termination acceptance computation (§4.5).
+        early_termination: bool,
+        /// Weight of the performance term during optimization.
+        perf_weight: f64,
+        /// Number of proposals evaluated per synthesis run.
+        synthesis_iterations: u64,
+        /// Number of proposals evaluated per optimization run.
+        optimization_iterations: u64,
+        /// Number of parallel synthesis/optimization chains.
+        threads: usize,
+        /// Re-rank window as a factor of the best candidate cost.
+        rerank_margin: f64,
+        /// RNG seed (searches are deterministic given the seed).
+        seed: u64,
+        /// The opcode universe sampled by instruction/opcode moves.
+        opcode_pool: Vec<Opcode>,
+        /// The constant pool sampled for immediate operands.
+        immediate_pool: Vec<i64>,
+        /// Registers eligible as random operands.
+        register_pool: Vec<Gpr>,
+    }
+
+    /// Validate every invariant and return the configuration.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant as a [`ConfigError`]; see
+    /// [`Config::validate`] for the full list.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -192,5 +377,145 @@ mod tests {
     fn register_pool_excludes_rsp() {
         assert!(!Config::default().register_pool.contains(&Gpr::Rsp));
         assert_eq!(Config::default().register_pool.len(), 15);
+    }
+
+    #[test]
+    fn builder_defaults_build_cleanly() {
+        let built = Config::builder().build().expect("defaults are valid");
+        assert_eq!(built.ell, Config::default().ell);
+        let quick = ConfigBuilder::quick_test().build().expect("preset valid");
+        assert_eq!(quick.threads, 1);
+    }
+
+    #[test]
+    fn builder_rejects_negative_move_probability() {
+        for field in ["pc", "po", "ps", "pi", "pu"] {
+            let b = Config::builder();
+            let b = match field {
+                "pc" => b.pc(-0.1),
+                "po" => b.po(-0.1),
+                "ps" => b.ps(-0.1),
+                "pi" => b.pi(-0.1),
+                _ => b.pu(f64::NAN),
+            };
+            assert!(
+                matches!(
+                    b.build(),
+                    Err(ConfigError::InvalidMoveProbability { field: f, .. }) if f == field
+                ),
+                "field {field} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_all_zero_move_probabilities() {
+        let err = Config::builder().pc(0.0).po(0.0).ps(0.0).pi(0.0).build();
+        assert_eq!(err, Err(ConfigError::AllMoveProbabilitiesZero));
+    }
+
+    #[test]
+    fn builder_rejects_pu_above_one() {
+        // pu is an absolute probability (unlike the normalized move-kind
+        // weights): at pu >= 1.0 every instruction move proposes UNUSED.
+        assert!(matches!(
+            Config::builder().pu(1.5).build(),
+            Err(ConfigError::UnusedProbabilityOutOfRange { .. })
+        ));
+        assert!(Config::builder().pu(1.0).build().is_ok());
+        // The other move probabilities are weights and may exceed 1.
+        assert!(Config::builder().po(5.0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_ell() {
+        assert_eq!(
+            Config::builder().ell(0).build(),
+            Err(ConfigError::ZeroRewriteLength)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty_pools() {
+        assert_eq!(
+            Config::builder().opcode_pool(Vec::new()).build(),
+            Err(ConfigError::EmptyOpcodePool)
+        );
+        assert_eq!(
+            Config::builder().register_pool(Vec::new()).build(),
+            Err(ConfigError::EmptyRegisterPool)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_rerank_margin() {
+        assert!(matches!(
+            Config::builder().rerank_margin(0.5).build(),
+            Err(ConfigError::RerankMarginTooSmall { .. })
+        ));
+        assert!(matches!(
+            Config::builder().rerank_margin(f64::NAN).build(),
+            Err(ConfigError::RerankMarginTooSmall { .. })
+        ));
+        assert!(Config::builder().rerank_margin(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        assert_eq!(
+            Config::builder().threads(0).build(),
+            Err(ConfigError::ZeroThreads)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_scalars() {
+        // A NaN or zero beta silently turns Metropolis acceptance into
+        // "accept everything"; a negative perf weight rewards slower code;
+        // an empty test suite makes every rewrite cost 0.
+        assert!(matches!(
+            Config::builder().beta(f64::NAN).build(),
+            Err(ConfigError::InvalidBeta { .. })
+        ));
+        assert!(matches!(
+            Config::builder().beta(0.0).build(),
+            Err(ConfigError::InvalidBeta { .. })
+        ));
+        assert!(matches!(
+            Config::builder().perf_weight(-1.0).build(),
+            Err(ConfigError::InvalidPerfWeight { .. })
+        ));
+        assert!(Config::builder().perf_weight(0.0).build().is_ok());
+        assert_eq!(
+            Config::builder().num_testcases(0).build(),
+            Err(ConfigError::ZeroTestcases)
+        );
+    }
+
+    #[test]
+    fn builder_from_config_preserves_fields() {
+        let mut base = Config::quick_test();
+        base.seed = 42;
+        let rebuilt = ConfigBuilder::from_config(base.clone()).build().unwrap();
+        assert_eq!(rebuilt.seed, 42);
+        assert_eq!(rebuilt.ell, base.ell);
+    }
+
+    // Regression test for the raw-struct escape hatch: an all-zero move
+    // distribution used to divide by zero inside `move_cdf` and poison the
+    // proposal sampler with NaN. The builder makes it unrepresentable; raw
+    // construction now trips a debug assertion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must not all be zero")]
+    fn move_cdf_asserts_on_all_zero_probabilities() {
+        let config = Config {
+            pc: 0.0,
+            po: 0.0,
+            ps: 0.0,
+            pi: 0.0,
+            ..Config::default()
+        };
+        let _ = config.move_cdf();
     }
 }

@@ -1,0 +1,1026 @@
+//! The session-based search driver: validated configuration, typed
+//! errors, time/iteration budgets with cancellation, observer hooks, and
+//! a multi-target batch entry point.
+//!
+//! [`Session`] is the public front door to the Figure 9 pipeline. Where
+//! the original [`Stoke`](crate::search::Stoke) API ran one target,
+//! blocking and unbounded, a session can bound a search by wall-clock
+//! time or proposal count ([`Budget`]), cancel it from another thread
+//! ([`CancelToken`]), stream per-phase progress
+//! ([`SearchObserver`]), and schedule
+//! many targets across the thread pool ([`Session::run_batch`]).
+
+use crate::config::Config;
+use crate::cost::CostFn;
+use crate::error::StokeError;
+use crate::mcmc::{Chain, ChainResult, Rewrite};
+use crate::observer::{ChainProgress, NullObserver, Phase, SearchObserver, ValidationVerdict};
+use crate::search::{SearchStats, StokeResult, Verification};
+use crate::testcase::{generate_testcases, TargetSpec, TestSuite};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use stoke_emu::TimingModel;
+use stoke_verify::{EquivResult, Validator};
+use stoke_x86::Program;
+
+static NULL_OBSERVER: NullObserver = NullObserver;
+
+/// A shared cancellation flag: clone it, hand it to another thread, and
+/// [`cancel`](CancelToken::cancel) stops every chain of the session that
+/// owns it at the next proposal boundary.
+///
+/// Cancellation is permanent: the flag never resets, so a cancelled
+/// [`Session`] (or [`Budget`]) stays cancelled — including across
+/// subsequent `run` calls. To search again after a cancellation, build a
+/// new session with a fresh budget.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at each chain's next
+    /// proposal boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits on how much work a [`Session`] run may do: a maximum number of
+/// proposals, a wall-clock duration, and a [`CancelToken`] — any
+/// combination, checked before every MCMC proposal.
+///
+/// ```
+/// use std::time::Duration;
+/// use stoke::Budget;
+/// let budget = Budget::unlimited()
+///     .with_max_proposals(1_000_000)
+///     .with_wall_clock(Duration::from_secs(30));
+/// let token = budget.cancel_token();
+/// assert!(!token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_proposals: Option<u64>,
+    wall_clock: Option<Duration>,
+    cancel: CancelToken,
+}
+
+impl Budget {
+    /// No limits beyond the per-phase iteration counts in [`Config`].
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Cap the total number of proposals evaluated across every chain and
+    /// phase of a run (and across every target of a batch).
+    pub fn with_max_proposals(mut self, max: u64) -> Budget {
+        self.max_proposals = Some(max);
+        self
+    }
+
+    /// Cap the wall-clock duration of a run. The clock starts when
+    /// [`Session::run`] or [`Session::run_batch`] is called.
+    pub fn with_wall_clock(mut self, limit: Duration) -> Budget {
+        self.wall_clock = Some(limit);
+        self
+    }
+
+    /// The budget's cancellation token (cloning shares the flag).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancel any run governed by this budget.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
+/// A running budget: the deadline and proposal counter shared by every
+/// chain of one [`Session::run`] / [`Session::run_batch`] invocation.
+///
+/// Created with [`BudgetClock::start`] when the run begins; chains consult
+/// it through [`ChainControl`] before each proposal.
+#[derive(Debug)]
+pub struct BudgetClock {
+    deadline: Option<Instant>,
+    max_proposals: Option<u64>,
+    used_proposals: AtomicU64,
+    cancel: CancelToken,
+    tripped: AtomicBool,
+}
+
+impl BudgetClock {
+    /// Start the clock on a budget: the wall-clock deadline is measured
+    /// from this call.
+    pub fn start(budget: &Budget) -> BudgetClock {
+        BudgetClock {
+            deadline: budget.wall_clock.map(|d| Instant::now() + d),
+            max_proposals: budget.max_proposals,
+            used_proposals: AtomicU64::new(0),
+            cancel: budget.cancel.clone(),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Account for one proposal; `false` means the budget is exhausted (or
+    /// cancelled) and the chain must stop.
+    pub fn admit_proposal(&self) -> bool {
+        if self.cancel.is_cancelled() {
+            self.tripped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.tripped.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if let Some(max) = self.max_proposals {
+            if self.used_proposals.fetch_add(1, Ordering::Relaxed) >= max {
+                self.tripped.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the run was cut short: a chain was denied a proposal
+    /// (sticky), the run was cancelled, or the deadline has passed.
+    ///
+    /// Deliberately *not* keyed on the proposal counter alone: a run whose
+    /// chains completed using exactly `max_proposals` proposals finished,
+    /// it was not interrupted — any phase that still needs chain work will
+    /// be denied its first proposal and trip the flag then.
+    pub fn exhausted(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+            || self.cancel.is_cancelled()
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Per-chain execution context threaded into
+/// [`Chain::run_controlled`](crate::mcmc::Chain::run_controlled): which
+/// pipeline phase and chain the run belongs to, the observer to report
+/// progress to, and the budget clock to consult before each proposal.
+pub struct ChainControl<'a> {
+    target: usize,
+    phase: Phase,
+    chain: usize,
+    observer: &'a dyn SearchObserver,
+    clock: Option<&'a BudgetClock>,
+    progress_every: u64,
+}
+
+impl<'a> ChainControl<'a> {
+    /// A control for one chain of `phase`, reporting to `observer`.
+    pub fn new(phase: Phase, chain: usize, observer: &'a dyn SearchObserver) -> ChainControl<'a> {
+        ChainControl {
+            target: 0,
+            phase,
+            chain,
+            observer,
+            clock: None,
+            progress_every: 0,
+        }
+    }
+
+    /// No budget, no observer: the control used by the plain
+    /// [`Chain::run`](crate::mcmc::Chain::run).
+    pub fn unbounded() -> ChainControl<'static> {
+        ChainControl::new(Phase::Synthesis, 0, &NULL_OBSERVER)
+    }
+
+    /// Tag progress reports with a batch target index.
+    pub fn for_target(mut self, target: usize) -> ChainControl<'a> {
+        self.target = target;
+        self
+    }
+
+    /// Consult `clock` before each proposal (the preemption point).
+    pub fn with_clock(mut self, clock: &'a BudgetClock) -> ChainControl<'a> {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Report progress to the observer every `n` proposals (`0` disables
+    /// progress reports).
+    pub fn with_progress_every(mut self, n: u64) -> ChainControl<'a> {
+        self.progress_every = n;
+        self
+    }
+
+    pub(crate) fn admit_proposal(&self) -> bool {
+        self.clock.is_none_or(BudgetClock::admit_proposal)
+    }
+
+    pub(crate) fn maybe_report(
+        &self,
+        proposals: u64,
+        make: impl FnOnce(usize, Phase, usize) -> ChainProgress,
+    ) {
+        if self.progress_every > 0 && proposals.is_multiple_of(self.progress_every) {
+            self.observer
+                .on_chain_progress(&make(self.target, self.phase, self.chain));
+        }
+    }
+}
+
+/// The session-based driver for the full STOKE pipeline (Figure 9).
+///
+/// A session owns a validated-on-use [`Config`], an optional [`Budget`],
+/// and an optional [`SearchObserver`]; it can run single targets
+/// ([`Session::run`]) or whole workloads ([`Session::run_batch`]), and is
+/// reusable: each run generates its own test suite and starts a fresh
+/// budget clock (deadline and proposal counter). Cancellation is the
+/// exception — a [`CancelToken`], once cancelled, stays cancelled for
+/// every later run of the same session.
+///
+/// ```
+/// use stoke::{Config, Session, TargetSpec};
+/// use stoke_x86::{Gpr, Program};
+///
+/// let target: Program = "
+///     movq rdi, rbx
+///     movq rbx, rax
+///     addq rsi, rax
+/// ".parse().unwrap();
+/// let spec = TargetSpec::with_gprs(target, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+/// let config = Config::builder()
+///     .ell(8)
+///     .num_testcases(8)
+///     .threads(1)
+///     .synthesis_iterations(1_000)
+///     .optimization_iterations(5_000)
+///     .build()
+///     .unwrap();
+/// let result = Session::new(config).run(&spec).unwrap();
+/// assert!(result.speedup() >= 1.0);
+/// ```
+pub struct Session {
+    config: Config,
+    budget: Budget,
+    observer: Option<Arc<dyn SearchObserver>>,
+}
+
+impl Session {
+    /// Create a session. The configuration is validated on each run (the
+    /// struct's fields are still `pub`, so it can be mutated after
+    /// construction).
+    pub fn new(config: Config) -> Session {
+        Session {
+            config,
+            budget: Budget::unlimited(),
+            observer: None,
+        }
+    }
+
+    /// Bound the session's runs by `budget`.
+    pub fn with_budget(mut self, budget: Budget) -> Session {
+        self.budget = budget;
+        self
+    }
+
+    /// Stream pipeline events to `observer`.
+    pub fn with_observer(mut self, observer: Arc<dyn SearchObserver>) -> Session {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The session's budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// A token that cancels this session's runs from any thread.
+    /// Cancellation is permanent for the session (see [`CancelToken`]).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.budget.cancel_token()
+    }
+
+    fn observer(&self) -> &dyn SearchObserver {
+        match &self.observer {
+            Some(o) => o.as_ref(),
+            None => &NULL_OBSERVER,
+        }
+    }
+
+    fn progress_every(&self) -> u64 {
+        if self.observer.is_none() {
+            return 0;
+        }
+        // Aim for a handful of reports per chain without flooding slow
+        // observers on long runs.
+        (self
+            .config
+            .synthesis_iterations
+            .max(self.config.optimization_iterations)
+            / 8)
+        .max(1)
+    }
+
+    /// Run the full pipeline on one target, generating test cases first
+    /// (the instrumentation step of Figure 9).
+    ///
+    /// # Errors
+    /// - [`StokeError::InvalidConfig`] if the configuration violates an
+    ///   invariant;
+    /// - [`StokeError::EmptyTarget`] if the target has no instructions;
+    /// - [`StokeError::BudgetExhausted`] if the budget ran out first, with
+    ///   the best partial result assembled from the work done so far.
+    pub fn run(&self, spec: &TargetSpec) -> Result<StokeResult, StokeError> {
+        let clock = BudgetClock::start(&self.budget);
+        self.run_target(spec, None, &clock, 0)
+    }
+
+    /// Run the full pipeline on one target reusing an existing test suite
+    /// (the `Testcases` phase is skipped).
+    ///
+    /// # Errors
+    /// As for [`Session::run`].
+    pub fn run_with_suite(
+        &self,
+        spec: &TargetSpec,
+        suite: TestSuite,
+    ) -> Result<StokeResult, StokeError> {
+        self.run_with_suite_refined(spec, suite).0
+    }
+
+    /// As [`Session::run_with_suite`], but also hand back the test suite —
+    /// including any counterexamples validation added to it — so the
+    /// deprecated [`Stoke`](crate::search::Stoke) shim can preserve the
+    /// old API's suite-refinement persistence across runs.
+    pub(crate) fn run_with_suite_refined(
+        &self,
+        spec: &TargetSpec,
+        suite: TestSuite,
+    ) -> (Result<StokeResult, StokeError>, TestSuite) {
+        let clock = BudgetClock::start(&self.budget);
+        let (result, suite) = self.run_target_refined(spec, Some(suite), &clock, 0);
+        (
+            result,
+            suite.expect("the suite passed in is always returned"),
+        )
+    }
+
+    /// Run the full pipeline on every target, scheduling them across the
+    /// thread pool (`config.threads` targets in flight; each target then
+    /// runs its own chains as configured). Results come back in input
+    /// order, one `Result` per target, so one bad target does not sink the
+    /// workload. The budget — including its wall clock, started once at
+    /// the call — is shared by the whole batch.
+    pub fn run_batch(&self, specs: &[TargetSpec]) -> Vec<Result<StokeResult, StokeError>> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let clock = BudgetClock::start(&self.budget);
+        let workers = self.config.threads.max(1).min(specs.len());
+        if workers == 1 {
+            return specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| self.run_target(spec, None, &clock, i))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<Result<StokeResult, StokeError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = self.run_target(spec, None, &clock, i);
+                    *slots[i].lock().expect("batch result lock") = Some(result);
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch result lock")
+                    .expect("every batch slot is filled")
+            })
+            .collect()
+    }
+
+    fn run_target(
+        &self,
+        spec: &TargetSpec,
+        suite: Option<TestSuite>,
+        clock: &BudgetClock,
+        target: usize,
+    ) -> Result<StokeResult, StokeError> {
+        self.run_target_refined(spec, suite, clock, target).0
+    }
+
+    fn run_target_refined(
+        &self,
+        spec: &TargetSpec,
+        suite: Option<TestSuite>,
+        clock: &BudgetClock,
+        target: usize,
+    ) -> (Result<StokeResult, StokeError>, Option<TestSuite>) {
+        if let Err(e) = self.config.validate() {
+            return (Err(e.into()), suite);
+        }
+        if spec.program.is_empty() {
+            return (Err(StokeError::EmptyTarget), suite);
+        }
+        let observer = self.observer();
+        let suite = match suite {
+            Some(suite) => suite,
+            None => {
+                observer.on_phase_start(target, Phase::Testcases);
+                generate_testcases(spec, self.config.num_testcases, self.config.seed)
+            }
+        };
+        let mut run = TargetRun {
+            config: &self.config,
+            spec,
+            suite,
+            observer,
+            clock,
+            target,
+            progress_every: self.progress_every(),
+        };
+        let result = run.pipeline();
+        (result, Some(run.suite))
+    }
+}
+
+/// One target's trip through the pipeline: the old `Stoke` internals plus
+/// the budget clock and observer hooks.
+struct TargetRun<'a> {
+    config: &'a Config,
+    spec: &'a TargetSpec,
+    suite: TestSuite,
+    observer: &'a dyn SearchObserver,
+    clock: &'a BudgetClock,
+    target: usize,
+    progress_every: u64,
+}
+
+impl TargetRun<'_> {
+    fn make_cost_fn(&self) -> CostFn {
+        CostFn::new(
+            self.config.clone(),
+            self.suite.clone(),
+            self.spec.program.static_latency(),
+        )
+    }
+
+    fn control(&self, phase: Phase, chain: usize) -> ChainControl<'_> {
+        ChainControl::new(phase, chain, self.observer)
+            .for_target(self.target)
+            .with_clock(self.clock)
+            .with_progress_every(self.progress_every)
+    }
+
+    /// Run one synthesis chain (§4.4: random starting point, correctness
+    /// term only).
+    fn synthesis_chain(&self, seed: u64, iterations: u64, chain_idx: usize) -> ChainResult {
+        let mut cost_fn = self.make_cost_fn();
+        let mut chain = Chain::new(&mut cost_fn, seed, false);
+        let start = chain.proposer_mut().random_rewrite();
+        chain.run_controlled(
+            start,
+            iterations,
+            &self.control(Phase::Synthesis, chain_idx),
+        )
+    }
+
+    /// Run one optimization chain (§4.4: starts from a code sequence known
+    /// or believed to be equivalent to the target; both cost terms).
+    fn optimization_chain(
+        &self,
+        start: &Program,
+        seed: u64,
+        iterations: u64,
+        chain_idx: usize,
+    ) -> ChainResult {
+        let mut cost_fn = self.make_cost_fn();
+        let mut chain = Chain::new(&mut cost_fn, seed, true);
+        let start = Rewrite::from_program(start, self.config.ell);
+        chain.run_controlled(
+            start,
+            iterations,
+            &self.control(Phase::Optimization, chain_idx),
+        )
+    }
+
+    /// Run synthesis on `threads` parallel chains and return every
+    /// zero-cost rewrite found.
+    fn parallel_synthesis(&self, stats: &mut SearchStats) -> Vec<Program> {
+        let t0 = Instant::now();
+        let threads = self.config.threads.max(1);
+        let iterations = self.config.synthesis_iterations;
+        let results: Vec<ChainResult> = if threads == 1 {
+            vec![self.synthesis_chain(self.config.seed ^ 0xa5a5, iterations, 0)]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|i| {
+                        let seed = self.config.seed ^ (0xa5a5 + i as u64 * 7919);
+                        scope.spawn(move |_| self.synthesis_chain(seed, iterations, i))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("synthesis thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        };
+        stats.synthesis_time += t0.elapsed();
+        let mut found = Vec::new();
+        for r in results {
+            stats.synthesis_proposals += r.proposals;
+            stats.testcases_run += r.testcases_run;
+            if r.best_cost == 0.0 {
+                stats.synthesis_succeeded = true;
+                found.push(r.best.to_program());
+            }
+        }
+        found
+    }
+
+    /// Run optimization chains from each starting point in parallel and
+    /// return the candidates sorted by cost (best first).
+    fn parallel_optimization(
+        &self,
+        starts: &[Program],
+        stats: &mut SearchStats,
+    ) -> Vec<(Program, f64)> {
+        let t0 = Instant::now();
+        let iterations = self.config.optimization_iterations;
+        let results: Vec<ChainResult> = if starts.len() <= 1 || self.config.threads <= 1 {
+            starts
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    self.optimization_chain(s, self.config.seed ^ (17 + i as u64), iterations, i)
+                })
+                .collect()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = starts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let seed = self.config.seed ^ (17 + i as u64 * 104729);
+                        scope.spawn(move |_| self.optimization_chain(s, seed, iterations, i))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("optimization thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        };
+        stats.optimization_time += t0.elapsed();
+        // Re-rank only candidates that passed every test case (`eq' == 0`),
+        // as the paper does: a near-miss rewrite can undercut the target on
+        // *total* cost, so a chain's overall best may be incorrect and would
+        // then be discarded by validation, leaving nothing to re-rank.
+        // Chains with no correct rewrite contribute their overall best only
+        // when NO chain found a correct one — a cheap incorrect candidate
+        // must not shrink the re-rank margin and starve correct candidates
+        // from other chains.
+        let mut candidates = Vec::new();
+        let mut fallbacks = Vec::new();
+        for r in results {
+            stats.optimization_proposals += r.proposals;
+            stats.testcases_run += r.testcases_run;
+            match r.best_correct {
+                Some(b) => candidates.push((b.to_program(), r.best_correct_cost)),
+                None => fallbacks.push((r.best.to_program(), r.best_cost)),
+            }
+        }
+        if candidates.is_empty() {
+            candidates = fallbacks;
+        }
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates
+    }
+
+    /// Validate a candidate against the target; on a counterexample, add
+    /// it to the test suite (Equation 12's refinement).
+    fn validate(&mut self, candidate: &Program, stats: &mut SearchStats) -> bool {
+        stats.validations += 1;
+        let validator = Validator::new(self.suite.live_out.clone());
+        let verdict = match validator.prove(&self.spec.program, candidate).0 {
+            EquivResult::Equivalent => true,
+            EquivResult::NotEquivalent(cex) => {
+                stats.counterexamples += 1;
+                self.suite.add_counterexample(self.spec, &cex);
+                false
+            }
+        };
+        self.observer.on_validation(
+            self.target,
+            if verdict {
+                ValidationVerdict::Proven
+            } else {
+                ValidationVerdict::Refuted
+            },
+        );
+        verdict
+    }
+
+    /// Run the complete pipeline of Figure 9 and return the best verified
+    /// rewrite, or [`StokeError::BudgetExhausted`] carrying the best
+    /// partial result if the budget ran out mid-pipeline.
+    fn pipeline(&mut self) -> Result<StokeResult, StokeError> {
+        let mut stats = SearchStats::default();
+        if self.clock.exhausted() {
+            return Err(self.budget_exhausted(Vec::new(), stats));
+        }
+        // 1. Synthesis from random starting points.
+        self.observer.on_phase_start(self.target, Phase::Synthesis);
+        let synthesized = self.parallel_synthesis(&mut stats);
+        if self.clock.exhausted() {
+            // Synthesized rewrites are zero-cost, i.e. correct on every
+            // test case run so far; rank them without the (unbounded)
+            // symbolic stage.
+            let candidates = synthesized.into_iter().map(|p| (p, 0.0)).collect();
+            return Err(self.budget_exhausted(candidates, stats));
+        }
+        // 2. Optimization from the target and from every synthesized
+        //    candidate (§4.4, §4.7: even when synthesis fails, optimization
+        //    proceeds from the region occupied by the target).
+        self.observer
+            .on_phase_start(self.target, Phase::Optimization);
+        let mut starts = vec![self.spec.program.clone()];
+        starts.extend(synthesized);
+        let candidates = self.parallel_optimization(&starts, &mut stats);
+        if self.clock.exhausted() {
+            return Err(self.budget_exhausted(candidates, stats));
+        }
+
+        // 3. Keep the candidates whose cost is within the re-rank margin of
+        //    the best, verify them, and re-rank the survivors with the
+        //    timing model (the paper's actual-runtime re-ranking).
+        Ok(self.rerank(candidates, stats, true))
+    }
+
+    /// Wrap the partial result of an interrupted run. Validation is
+    /// skipped — the symbolic stage is not preemptible and the budget is
+    /// already gone — so surviving candidates are at most
+    /// [`Verification::TestsOnly`].
+    fn budget_exhausted(
+        &mut self,
+        candidates: Vec<(Program, f64)>,
+        stats: SearchStats,
+    ) -> StokeError {
+        StokeError::BudgetExhausted {
+            partial: Box::new(self.rerank(candidates, stats, false)),
+        }
+    }
+
+    /// The re-rank stage: filter candidates to the margin window, check
+    /// them on the test suite, optionally validate symbolically, and pick
+    /// the fastest survivor under the timing model. Announces
+    /// [`Phase::Validation`] itself so candidate/validation events are
+    /// phase-scoped on the budget-exhausted path too.
+    fn rerank(
+        &mut self,
+        candidates: Vec<(Program, f64)>,
+        mut stats: SearchStats,
+        symbolic: bool,
+    ) -> StokeResult {
+        self.observer.on_phase_start(self.target, Phase::Validation);
+        let timing = TimingModel::default();
+        let target_cycles = timing.cycles(&self.spec.program);
+        let best_cost = candidates.first().map(|(_, c)| *c).unwrap_or(f64::INFINITY);
+        let margin = best_cost.max(1.0) * self.config.rerank_margin;
+        let mut verified: Vec<(Program, u64, Verification)> = Vec::new();
+        let mut testcase_clean: Vec<(Program, u64, Verification)> = Vec::new();
+        for (program, cost) in candidates.into_iter().filter(|(_, c)| *c <= margin) {
+            self.observer.on_candidate(self.target, &program, cost);
+            // Reject candidates that fail test cases outright.
+            let mut probe = self.make_cost_fn();
+            if probe.eq_prime(&program.iter().cloned().collect::<Vec<_>>()) != 0 {
+                continue;
+            }
+            let cycles = timing.cycles(&program);
+            if !symbolic {
+                testcase_clean.push((program, cycles, Verification::TestsOnly));
+            } else if self.validate(&program, &mut stats) {
+                verified.push((program, cycles, Verification::Proven));
+            } else {
+                // Re-check on the refined suite: a genuine counterexample
+                // will now show a non-zero cost; a spurious one (caused by
+                // the uninterpreted-function abstraction) will not.
+                let mut recheck = self.make_cost_fn();
+                if recheck.eq_prime(&program.iter().cloned().collect::<Vec<_>>()) == 0 {
+                    testcase_clean.push((program, cycles, Verification::TestsOnly));
+                }
+            }
+        }
+        verified.sort_by_key(|(_, cycles, _)| *cycles);
+        testcase_clean.sort_by_key(|(_, cycles, _)| *cycles);
+
+        let (rewrite, rewrite_cycles, verification) = verified
+            .into_iter()
+            .chain(testcase_clean)
+            .next()
+            .unwrap_or_else(|| {
+                (
+                    self.spec.program.clone(),
+                    target_cycles,
+                    Verification::TargetReturned,
+                )
+            });
+
+        StokeResult {
+            target_latency: self.spec.program.static_latency(),
+            rewrite_latency: rewrite.static_latency(),
+            target_cycles,
+            rewrite_cycles,
+            rewrite,
+            verification,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigBuilder;
+    use crate::error::ConfigError;
+    use crate::observer::{CollectingObserver, SearchEvent};
+    use stoke_x86::Gpr;
+
+    fn quick_config() -> Config {
+        Config {
+            ell: 8,
+            num_testcases: 8,
+            synthesis_iterations: 5_000,
+            optimization_iterations: 20_000,
+            threads: 1,
+            ..Config::default()
+        }
+    }
+
+    /// A deliberately clumsy target: rax = rdi + rsi computed through a
+    /// pointless register shuffle (llvm -O0 flavour).
+    fn clumsy_add() -> TargetSpec {
+        let program: Program = "
+            movq rdi, rbx
+            movq rbx, rcx
+            movq rcx, rax
+            addq rsi, rax
+            movq rax, rbx
+            movq rbx, rax
+        "
+        .parse()
+        .unwrap();
+        TargetSpec::with_gprs(program, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax])
+    }
+
+    #[test]
+    fn optimization_shortens_clumsy_target() {
+        let session = Session::new(quick_config());
+        let result = session.run(&clumsy_add()).expect("run succeeds");
+        assert!(
+            result.rewrite_latency <= result.target_latency,
+            "rewrite ({}) must not be slower than target ({})",
+            result.rewrite_latency,
+            result.target_latency
+        );
+        assert!(result.speedup() >= 1.0);
+        // Whatever came back must still be correct on fresh test cases.
+        let fresh = generate_testcases(&clumsy_add(), 16, 999);
+        let mut cf = CostFn::new(quick_config(), fresh, 0);
+        let instrs: Vec<_> = result.rewrite.iter().cloned().collect();
+        assert_eq!(
+            cf.eq_prime(&instrs),
+            0,
+            "returned rewrite fails fresh test cases"
+        );
+    }
+
+    #[test]
+    fn result_is_deterministic_for_fixed_seed() {
+        let a = Session::new(quick_config()).run(&clumsy_add()).unwrap();
+        let b = Session::new(quick_config()).run(&clumsy_add()).unwrap();
+        assert_eq!(a.rewrite, b.rewrite);
+    }
+
+    #[test]
+    fn validation_counterexample_refines_suite() {
+        // Use a single test case so a wrong rewrite can slip through, then
+        // check the validator caught it and added a counterexample.
+        let config = Config {
+            num_testcases: 1,
+            ..quick_config()
+        };
+        let spec = clumsy_add();
+        let suite = generate_testcases(&spec, 1, config.seed);
+        let clock = BudgetClock::start(&Budget::unlimited());
+        let mut run = TargetRun {
+            config: &config,
+            spec: &spec,
+            suite,
+            observer: &NULL_OBSERVER,
+            clock: &clock,
+            target: 0,
+            progress_every: 0,
+        };
+        let before = run.suite.len();
+        let mut stats = SearchStats::default();
+        // This rewrite is actually correct, so validation must succeed and
+        // must not add counterexamples.
+        let right: Program = "movq rdi, rax\naddq rsi, rax\naddq 0, rax".parse().unwrap();
+        assert!(run.validate(&right, &mut stats));
+        assert_eq!(run.suite.len(), before);
+        // A genuinely wrong rewrite produces a counterexample.
+        let broken: Program = "movq rdi, rax\naddq 1, rax".parse().unwrap();
+        assert!(!run.validate(&broken, &mut stats));
+        assert_eq!(run.suite.len(), before + 1);
+        assert_eq!(stats.counterexamples, 1);
+    }
+
+    #[test]
+    fn session_rejects_invalid_config() {
+        let config = Config {
+            threads: 0,
+            ..quick_config()
+        };
+        match Session::new(config).run(&clumsy_add()) {
+            Err(StokeError::InvalidConfig(ConfigError::ZeroThreads)) => {}
+            other => panic!("expected InvalidConfig(ZeroThreads), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_rejects_empty_target() {
+        let spec = TargetSpec::with_gprs(Program::new(), &[], &[Gpr::Rax]);
+        assert!(matches!(
+            Session::new(quick_config()).run(&spec),
+            Err(StokeError::EmptyTarget)
+        ));
+    }
+
+    #[test]
+    fn wall_clock_budget_interrupts_synthesis() {
+        // A synthesis budget far beyond what 50ms can evaluate: the
+        // deadline must preempt the chain mid-phase and return a partial
+        // result rather than running to completion.
+        let config = ConfigBuilder::from_config(quick_config())
+            .synthesis_iterations(u64::MAX / 2)
+            .optimization_iterations(1_000)
+            .build()
+            .unwrap();
+        let session = Session::new(config)
+            .with_budget(Budget::unlimited().with_wall_clock(Duration::from_millis(50)));
+        let t0 = Instant::now();
+        let result = session.run(&clumsy_add());
+        let elapsed = t0.elapsed();
+        match result {
+            Err(StokeError::BudgetExhausted { partial }) => {
+                // The chain really started (proposals were evaluated) and
+                // really stopped early (nowhere near the huge budget).
+                assert!(partial.stats.synthesis_proposals > 0);
+                assert!(partial.stats.synthesis_proposals < 1_000_000_000);
+                // No symbolic stage ran on the partial path.
+                assert_eq!(partial.stats.validations, 0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "deadline did not preempt the chain (took {elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn proposal_budget_interrupts_the_search() {
+        let session =
+            Session::new(quick_config()).with_budget(Budget::unlimited().with_max_proposals(500));
+        match session.run(&clumsy_add()) {
+            Err(StokeError::BudgetExhausted { partial }) => {
+                let total =
+                    partial.stats.synthesis_proposals + partial.stats.optimization_proposals;
+                assert!(total <= 500, "budget overshot: {total} proposals");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_session_does_no_work() {
+        let session = Session::new(quick_config());
+        session.cancel_token().cancel();
+        match session.run(&clumsy_add()) {
+            Err(StokeError::BudgetExhausted { partial }) => {
+                assert_eq!(partial.stats.synthesis_proposals, 0);
+                assert_eq!(partial.verification, Verification::TargetReturned);
+                assert_eq!(partial.rewrite, clumsy_add().program);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Cancellation is documented as permanent: a second run of the
+        // same session stays cancelled.
+        assert!(matches!(
+            session.run(&clumsy_add()),
+            Err(StokeError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn observer_sees_phases_in_pipeline_order() {
+        let observer = Arc::new(CollectingObserver::new());
+        let session = Session::new(quick_config()).with_observer(observer.clone());
+        session.run(&clumsy_add()).expect("run succeeds");
+        assert_eq!(
+            observer.phases(),
+            vec![
+                Phase::Testcases,
+                Phase::Synthesis,
+                Phase::Optimization,
+                Phase::Validation
+            ]
+        );
+        // The optimization phase produced at least one candidate event.
+        assert!(observer
+            .events()
+            .iter()
+            .any(|e| matches!(e, SearchEvent::Candidate { .. })));
+        // Progress reports carry the right phase tags.
+        for event in observer.events() {
+            if let SearchEvent::Progress(p) = event {
+                assert!(matches!(p.phase, Phase::Synthesis | Phase::Optimization));
+                assert!(p.proposals <= p.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_returns_per_target_results_in_order() {
+        let ok = clumsy_add();
+        let empty = TargetSpec::with_gprs(Program::new(), &[], &[Gpr::Rax]);
+        let config = Config {
+            threads: 2,
+            synthesis_iterations: 1_000,
+            optimization_iterations: 5_000,
+            ..quick_config()
+        };
+        let session = Session::new(config);
+        let results = session.run_batch(&[ok.clone(), empty, ok]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(StokeError::EmptyTarget)));
+        assert!(results[2].is_ok());
+        // Both successful targets are the same spec, so their (seeded,
+        // deterministic) results must agree regardless of scheduling.
+        assert_eq!(
+            results[0].as_ref().unwrap().rewrite,
+            results[2].as_ref().unwrap().rewrite
+        );
+        assert!(session.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_observer_tags_events_with_target_indices() {
+        let observer = Arc::new(CollectingObserver::new());
+        let config = Config {
+            synthesis_iterations: 500,
+            optimization_iterations: 2_000,
+            ..quick_config()
+        };
+        let session = Session::new(config).with_observer(observer.clone());
+        session.run_batch(&[clumsy_add(), clumsy_add()]);
+        let targets: std::collections::BTreeSet<usize> = observer
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::PhaseStart { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

@@ -9,12 +9,17 @@
 //! ([`testcase`]), the cost function with the strict and improved equality
 //! metrics ([`cost`]), the four proposal moves and the MCMC chain with
 //! early-termination acceptance ([`mcmc`]), and the full
-//! synthesis → optimization → validation → re-ranking pipeline
-//! ([`search`], Figure 9 of the paper). The execution and verification
-//! substrates live in the companion crates `stoke-emu` and `stoke-verify`.
+//! synthesis → optimization → validation → re-ranking pipeline of the
+//! paper's Figure 9, driven through the session API ([`driver`]):
+//! validated configuration ([`Config::builder`]), typed errors
+//! ([`StokeError`]), wall-clock/proposal budgets with cancellation
+//! ([`Budget`]), progress observers ([`SearchObserver`]), and a
+//! multi-target batch entry point ([`Session::run_batch`]). The execution
+//! and verification substrates live in the companion crates `stoke-emu`
+//! and `stoke-verify`.
 //!
 //! ```
-//! use stoke::{Config, Stoke, TargetSpec};
+//! use stoke::{Config, Session, TargetSpec};
 //! use stoke_x86::{Gpr, Program};
 //!
 //! // A clumsy `llvm -O0`-style computation of rax = rdi + rsi.
@@ -24,24 +29,40 @@
 //!     addq rsi, rax
 //! ".parse().unwrap();
 //! let spec = TargetSpec::with_gprs(target, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
-//! let mut config = Config::quick_test();
-//! config.synthesis_iterations = 1_000;
-//! config.optimization_iterations = 5_000;
-//! let result = Stoke::new(config, spec).run();
+//! let config = Config::builder()
+//!     .ell(8)
+//!     .num_testcases(8)
+//!     .threads(1)
+//!     .synthesis_iterations(1_000)
+//!     .optimization_iterations(5_000)
+//!     .build()
+//!     .expect("valid configuration");
+//! let result = Session::new(config).run(&spec).expect("search completes");
 //! assert!(result.speedup() >= 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod cost;
+pub mod driver;
+pub mod error;
 pub mod mcmc;
+pub mod observer;
 pub mod search;
 pub mod testcase;
 
-pub use config::{Config, EqMetric};
+pub use config::{Config, ConfigBuilder, EqMetric};
 pub use cost::{CaseCost, CostFn, EvalStats};
-pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, TracePoint};
-pub use search::{SearchStats, Stoke, StokeResult, Verification};
+pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, Session};
+pub use error::{ConfigError, StokeError};
+pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
+pub use observer::{
+    ChainProgress, CollectingObserver, NullObserver, Phase, SearchEvent, SearchObserver,
+    ValidationVerdict,
+};
+#[allow(deprecated)]
+pub use search::Stoke;
+pub use search::{SearchStats, StokeResult, Verification};
 pub use testcase::{generate_testcases, InputKind, InputSpec, TargetSpec, TestSuite, Testcase};

@@ -4,6 +4,8 @@
 
 use crate::config::Config;
 use crate::cost::CostFn;
+use crate::driver::ChainControl;
+use crate::observer::ChainProgress;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -31,9 +33,13 @@ impl Rewrite {
     /// A rewrite that starts as an existing program padded with `UNUSED`
     /// slots up to length ℓ (the starting point of the optimization
     /// phase).
+    ///
+    /// A program longer than ℓ grows the rewrite to the program's length
+    /// instead of being truncated: a truncated starting point would make
+    /// the chain optimize a *different* program than the target, and
+    /// silently at that.
     pub fn from_program(program: &Program, ell: usize) -> Rewrite {
-        let mut slots: Vec<Option<Instruction>> =
-            program.iter().take(ell).cloned().map(Some).collect();
+        let mut slots: Vec<Option<Instruction>> = program.iter().cloned().map(Some).collect();
         slots.resize(ell.max(slots.len()), None);
         Rewrite { slots }
     }
@@ -301,6 +307,18 @@ pub struct TracePoint {
     pub instructions: usize,
 }
 
+/// Why a chain's [`run`](Chain::run) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The chain evaluated its full proposal budget.
+    Completed,
+    /// A pure-synthesis chain found a zero-cost rewrite and stopped early.
+    ZeroCost,
+    /// The session budget ran out or the search was cancelled mid-phase
+    /// (see [`Budget`](crate::driver::Budget)).
+    Interrupted,
+}
+
 /// Outcome of running a Markov chain.
 #[derive(Debug, Clone)]
 pub struct ChainResult {
@@ -325,6 +343,8 @@ pub struct ChainResult {
     pub trace: Vec<TracePoint>,
     /// Test cases executed (for Figure 2 / Figure 5 style reporting).
     pub testcases_run: u64,
+    /// Why the run returned.
+    pub stop: StopReason,
 }
 
 /// The Metropolis–Hastings chain of §3.2/§4.5.
@@ -370,6 +390,21 @@ impl<'a> Chain<'a> {
 
     /// Run the chain for `iterations` proposals starting from `start`.
     pub fn run(&mut self, start: Rewrite, iterations: u64) -> ChainResult {
+        self.run_controlled(start, iterations, &ChainControl::unbounded())
+    }
+
+    /// Run the chain for at most `iterations` proposals, checking the
+    /// budget/cancellation clock of `ctrl` before each proposal and
+    /// reporting periodic progress to its observer. This is the engine's
+    /// preemption point: a wall-clock deadline, proposal budget, or
+    /// cancellation token stops the chain mid-phase with
+    /// [`StopReason::Interrupted`].
+    pub fn run_controlled(
+        &mut self,
+        start: Rewrite,
+        iterations: u64,
+        ctrl: &ChainControl<'_>,
+    ) -> ChainResult {
         let config = self.cost_fn.config().clone();
         let mut current = start;
         let (current_eq, mut current_cost) = self.eq_and_cost(&current);
@@ -384,9 +419,14 @@ impl<'a> Chain<'a> {
         let mut accepted = 0u64;
         let mut proposals = 0u64;
         let mut trace = Vec::new();
+        let mut stop = StopReason::Completed;
         let start_testcases = self.cost_fn.stats.testcases_run;
 
         for iteration in 0..iterations {
+            if !ctrl.admit_proposal() {
+                stop = StopReason::Interrupted;
+                break;
+            }
             proposals += 1;
             let (candidate, _kind) = self.proposer.propose(&current);
             let accept = if config.early_termination {
@@ -438,9 +478,19 @@ impl<'a> Chain<'a> {
                     instructions: current.num_instructions(),
                 });
             }
+            ctrl.maybe_report(proposals, |target, phase, chain| ChainProgress {
+                target,
+                phase,
+                chain,
+                proposals,
+                iterations,
+                current_cost,
+                best_cost,
+            });
             // Stop a pure-synthesis run as soon as a zero-cost rewrite is
             // found; further proposals cannot improve it.
             if !self.use_perf && best_cost == 0.0 {
+                stop = StopReason::ZeroCost;
                 break;
             }
         }
@@ -454,6 +504,7 @@ impl<'a> Chain<'a> {
             accepted,
             trace,
             testcases_run: self.cost_fn.stats.testcases_run - start_testcases,
+            stop,
         }
     }
 }
@@ -478,6 +529,27 @@ mod tests {
         assert_eq!(r.len(), 10);
         assert_eq!(r.num_instructions(), 2);
         assert_eq!(r.to_program(), p);
+    }
+
+    // Regression test: a target longer than ℓ used to be silently
+    // truncated by `from_program`, making the optimization phase start
+    // from (and potentially "improve") a different program than the
+    // target. The rewrite must instead grow to hold every instruction.
+    #[test]
+    fn from_program_never_truncates_long_targets() {
+        let p: Program = "
+            movq rdi, rax
+            addq rsi, rax
+            addq rdx, rax
+            addq rcx, rax
+            addq r8, rax
+        "
+        .parse()
+        .unwrap();
+        let r = Rewrite::from_program(&p, 2);
+        assert_eq!(r.len(), 5, "rewrite must grow past ell to fit the target");
+        assert_eq!(r.num_instructions(), 5);
+        assert_eq!(r.to_program(), p, "no instruction may be dropped");
     }
 
     #[test]

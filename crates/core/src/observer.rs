@@ -1,0 +1,206 @@
+//! Observation hooks for the search driver: the [`SearchObserver`] trait
+//! lets callers stream per-phase progress out of a running
+//! [`Session`](crate::driver::Session) — phase transitions, periodic chain
+//! progress, candidates entering the re-rank stage, and validation
+//! verdicts — without blocking the search threads.
+
+use std::sync::Mutex;
+use stoke_x86::Program;
+
+/// A stage of the Figure 9 pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Test-case generation (the instrumentation step).
+    Testcases,
+    /// Parallel MCMC synthesis from random starting points.
+    Synthesis,
+    /// Parallel MCMC optimization from the target and every synthesized
+    /// candidate.
+    Optimization,
+    /// Symbolic validation and timing-model re-ranking of the lowest-cost
+    /// candidates.
+    Validation,
+}
+
+/// A periodic progress report from one MCMC chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainProgress {
+    /// Index of the target within the batch (`0` for single-target runs).
+    pub target: usize,
+    /// The pipeline phase the chain belongs to.
+    pub phase: Phase,
+    /// Index of the chain within its phase.
+    pub chain: usize,
+    /// Proposals evaluated by this chain so far.
+    pub proposals: u64,
+    /// The chain's per-phase proposal budget.
+    pub iterations: u64,
+    /// Cost of the chain's current rewrite.
+    pub current_cost: f64,
+    /// Lowest cost the chain has seen.
+    pub best_cost: f64,
+}
+
+/// The verdict of one symbolic validation query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationVerdict {
+    /// The candidate was proven equivalent to the target.
+    Proven,
+    /// The validator produced a counterexample, which was added to the
+    /// test suite (Equation 12's refinement).
+    Refuted,
+}
+
+/// Callbacks invoked by a [`Session`](crate::driver::Session) as the
+/// pipeline advances.
+///
+/// Every method has a no-op default, so implementors override only the
+/// events they care about. Observers are shared across the search threads
+/// and called concurrently, hence the `Send + Sync` bound; implementations
+/// should return quickly to avoid stalling the chains.
+pub trait SearchObserver: Send + Sync {
+    /// A pipeline phase is starting for target `target`.
+    fn on_phase_start(&self, target: usize, phase: Phase) {
+        let _ = (target, phase);
+    }
+
+    /// Periodic progress from one chain (cadence controlled by the
+    /// session).
+    fn on_chain_progress(&self, progress: &ChainProgress) {
+        let _ = progress;
+    }
+
+    /// A candidate rewrite entered the re-rank stage with the given search
+    /// cost.
+    fn on_candidate(&self, target: usize, candidate: &Program, cost: f64) {
+        let _ = (target, candidate, cost);
+    }
+
+    /// A symbolic validation query finished.
+    fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
+        let _ = (target, verdict);
+    }
+}
+
+/// The do-nothing observer used when a session has no explicit observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SearchObserver for NullObserver {}
+
+/// One recorded observer callback (see [`CollectingObserver`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchEvent {
+    /// `on_phase_start` fired.
+    PhaseStart {
+        /// Batch index of the target.
+        target: usize,
+        /// The phase that started.
+        phase: Phase,
+    },
+    /// `on_chain_progress` fired.
+    Progress(ChainProgress),
+    /// `on_candidate` fired.
+    Candidate {
+        /// Batch index of the target.
+        target: usize,
+        /// Number of instructions in the candidate.
+        instructions: usize,
+        /// The candidate's search cost.
+        cost: f64,
+    },
+    /// `on_validation` fired.
+    Validation {
+        /// Batch index of the target.
+        target: usize,
+        /// The validator's verdict.
+        verdict: ValidationVerdict,
+    },
+}
+
+/// An observer that records every event in order, for tests and for the
+/// `experiments` binary's per-phase progress reporting.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    events: Mutex<Vec<SearchEvent>>,
+}
+
+impl CollectingObserver {
+    /// A fresh, empty collector.
+    pub fn new() -> CollectingObserver {
+        CollectingObserver::default()
+    }
+
+    /// A snapshot of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<SearchEvent> {
+        self.events.lock().expect("observer lock").clone()
+    }
+
+    /// Remove and return every recorded event (used by the `experiments`
+    /// binary to stream per-kernel progress between runs).
+    pub fn drain(&self) -> Vec<SearchEvent> {
+        std::mem::take(&mut *self.events.lock().expect("observer lock"))
+    }
+
+    /// The phase-start events only, in arrival order.
+    pub fn phases(&self) -> Vec<Phase> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                SearchEvent::PhaseStart { phase, .. } => Some(phase),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn push(&self, event: SearchEvent) {
+        self.events.lock().expect("observer lock").push(event);
+    }
+}
+
+impl SearchObserver for CollectingObserver {
+    fn on_phase_start(&self, target: usize, phase: Phase) {
+        self.push(SearchEvent::PhaseStart { target, phase });
+    }
+
+    fn on_chain_progress(&self, progress: &ChainProgress) {
+        self.push(SearchEvent::Progress(*progress));
+    }
+
+    fn on_candidate(&self, target: usize, candidate: &Program, cost: f64) {
+        self.push(SearchEvent::Candidate {
+            target,
+            instructions: candidate.len(),
+            cost,
+        });
+    }
+
+    fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
+        self.push(SearchEvent::Validation { target, verdict });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_observer_records_in_order() {
+        let obs = CollectingObserver::new();
+        obs.on_phase_start(0, Phase::Synthesis);
+        obs.on_phase_start(0, Phase::Optimization);
+        obs.on_validation(0, ValidationVerdict::Proven);
+        assert_eq!(obs.phases(), vec![Phase::Synthesis, Phase::Optimization]);
+        assert_eq!(obs.events().len(), 3);
+        assert_eq!(obs.drain().len(), 3);
+        assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn null_observer_ignores_everything() {
+        let obs = NullObserver;
+        obs.on_phase_start(0, Phase::Testcases);
+        let p: Program = "movq rdi, rax".parse().unwrap();
+        obs.on_candidate(0, &p, 1.0);
+    }
+}

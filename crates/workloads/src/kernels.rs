@@ -191,31 +191,39 @@ pub const MONT_STOKE: &str = "
 /// body with the `jae` fixup folded into straight-line code using the
 /// carry flag (the paper's code uses a branch; our loop-free rendition
 /// uses `adc`, which the production compiler could equally have chosen).
+/// The 64×64→128 product `np · mh:ml` is decomposed into the four exact
+/// 32×32 partial products `p0..p3` (gcc's no-`mulq` schoolbook lowering):
+/// `low = p0 + mid·2³², high = p3 + ⌊mid/2³²⌋ + carries`, with
+/// `mid = p1 + p2`.
 pub const MONT_GCC_O3: &str = "
     movq rsi, r9
     mov ecx, ecx
-    shrq 32, rsi
-    movq rcx, rax
     mov edx, edx
-    imulq r9, rax
-    imulq rdx, r9
-    imulq rsi, rdx
-    imulq rsi, rcx
-    addq rdx, rax
+    shrq 32, r9
+    mov esi, esi
+    movq rdx, rax
+    imulq rsi, rax
+    movq rcx, r10
+    imulq rsi, r10
+    imulq r9, rdx
+    imulq r9, rcx
+    addq rdx, r10
+    movq 0, r11
+    adcq 0, r11
+    salq 32, r11
+    addq r11, rcx
+    movq r10, r11
+    shrq 32, r11
+    addq r11, rcx
+    salq 32, r10
+    addq r10, rax
     adcq 0, rcx
-    movq rax, rsi
-    movq rax, rdx
-    shrq 32, rsi
-    salq 32, rdx
-    addq rsi, rcx
-    addq r9, rdx
+    addq r8, rax
     adcq 0, rcx
-    addq r8, rdx
-    adcq 0, rcx
-    addq rdi, rdx
+    addq rdi, rax
     adcq 0, rcx
     movq rcx, r8
-    movq rdx, rdi
+    movq rax, rdi
 ";
 
 /// The four-times-unrolled SAXPY kernel of Figure 14:

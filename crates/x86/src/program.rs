@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// Targets and rewrites are both represented as `Program`s. STOKE's
 /// rewrites additionally carry `UNUSED` slots; those live in the search
-/// crate ([`stoke`]'s `Rewrite` type) and are converted to a dense
+/// crate (the `stoke` crate's `Rewrite` type) and are converted to a dense
 /// `Program` before evaluation.
 ///
 /// ```

@@ -10,37 +10,41 @@
 //! paper's conditional-move rewrite of p21 and confirms it is equivalent
 //! to the bit-twiddling target on test cases.
 
-use stoke::{Config, InputSpec, Stoke, TargetSpec};
+use stoke::{Config, InputSpec, Session, TargetSpec};
 use stoke_workloads::hackers_delight;
 use stoke_workloads::Kernel;
 use stoke_x86::{Gpr, Program};
 
-fn optimize(kernel: &Kernel, iterations: u64) {
-    let target = kernel.target_o0();
+fn spec_of(kernel: &Kernel) -> TargetSpec {
     let params = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx];
     let inputs: Vec<InputSpec> = params
         .iter()
         .take(kernel.ir.num_params)
         .map(|g| InputSpec::value32(*g))
         .collect();
-    let spec = TargetSpec::new(target.clone(), inputs, kernel.live_out.clone());
+    TargetSpec::new(kernel.target_o0(), inputs, kernel.live_out.clone())
+}
 
-    let config = Config {
-        ell: 16,
-        synthesis_iterations: iterations,
-        optimization_iterations: iterations,
-        threads: 2,
-        ..Config::default()
-    };
+fn config_for(iterations: u64) -> Config {
+    Config::builder()
+        .ell(16)
+        .synthesis_iterations(iterations)
+        .optimization_iterations(iterations)
+        .threads(2)
+        .build()
+        .expect("configuration is valid")
+}
 
+fn optimize(kernel: &Kernel, iterations: u64) {
+    let target = kernel.target_o0();
     println!("=== {} ===", kernel.name);
     println!("llvm -O0 stand-in: {} instructions", target.len());
     println!(
         "gcc -O3 stand-in : {} instructions",
         kernel.baseline_o3().len()
     );
-    let mut stoke = Stoke::new(config, spec);
-    let result = stoke.run();
+    let session = Session::new(config_for(iterations));
+    let result = session.run(&spec_of(kernel)).expect("search completes");
     println!(
         "STOKE rewrite ({} instructions, {:?}):",
         result.rewrite.len(),
@@ -53,16 +57,47 @@ fn optimize(kernel: &Kernel, iterations: u64) {
     );
 }
 
+/// Superoptimize several kernels as one workload through the batch entry
+/// point (`cargo run --release --example hackers_delight batch`).
+fn optimize_batch(iterations: u64) {
+    let kernels = [
+        hackers_delight::p01(),
+        hackers_delight::p14(),
+        hackers_delight::p21(),
+    ];
+    let specs: Vec<TargetSpec> = kernels.iter().map(spec_of).collect();
+    let session = Session::new(config_for(iterations));
+    println!("=== batch: {} kernels ===", kernels.len());
+    for (kernel, outcome) in kernels.iter().zip(session.run_batch(&specs)) {
+        match outcome {
+            Ok(result) => println!(
+                "{:<6} {:>2} -> {:>2} instructions, {:.2}x, {:?}",
+                kernel.name,
+                kernel.target_o0().len(),
+                result.rewrite.len(),
+                result.speedup(),
+                result.verification
+            ),
+            Err(e) => println!("{:<6} failed: {e}", kernel.name),
+        }
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("p01");
     let iterations: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
 
-    let kernel = hackers_delight::all()
-        .into_iter()
-        .find(|k| k.name == which)
-        .unwrap_or_else(hackers_delight::p01);
-    optimize(&kernel, iterations);
+    if which == "batch" {
+        optimize_batch(iterations);
+    } else {
+        let kernel = hackers_delight::all()
+            .into_iter()
+            .find(|k| k.name == which)
+            .unwrap_or_else(hackers_delight::p01);
+        optimize(&kernel, iterations);
+    }
 
     // Figure 13: the p21 rewrite found by STOKE in the paper.
     let p21 = hackers_delight::p21();

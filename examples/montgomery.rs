@@ -62,7 +62,8 @@ fn main() {
         LocSet::from_gprs([Gpr::Rdi, Gpr::R8]),
     );
     let suite = generate_testcases(&spec, 64, 1);
-    let mut cost = CostFn::new(Config::default(), suite, gcc.static_latency());
+    let config = Config::builder().build().expect("defaults are valid");
+    let mut cost = CostFn::new(config, suite, gcc.static_latency());
     let instrs: Vec<_> = stoke_rewrite.iter().cloned().collect();
     let eq = cost.eq_prime(&instrs);
     println!(

@@ -5,10 +5,12 @@
 //! ```
 //!
 //! A deliberately clumsy computation of `rax = (rdi + rsi) * 2` (the kind
-//! of code `llvm -O0` emits) is handed to STOKE, which searches for a
-//! shorter equivalent, verifies it, and reports the estimated speedup.
+//! of code `llvm -O0` emits) is handed to a STOKE [`Session`], which
+//! searches for a shorter equivalent under a wall-clock budget, verifies
+//! it, and reports the estimated speedup.
 
-use stoke::{Config, Stoke, TargetSpec};
+use std::time::Duration;
+use stoke::{Budget, Config, Session, StokeError, TargetSpec};
 use stoke_x86::{Gpr, Program};
 
 fn main() {
@@ -30,13 +32,13 @@ fn main() {
 
     let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
 
-    let config = Config {
-        ell: 12,
-        synthesis_iterations: 50_000,
-        optimization_iterations: 100_000,
-        threads: 2,
-        ..Config::default()
-    };
+    let config = Config::builder()
+        .ell(12)
+        .synthesis_iterations(50_000)
+        .optimization_iterations(100_000)
+        .threads(2)
+        .build()
+        .expect("configuration is valid");
 
     println!(
         "=== target ({} instructions, H(T) = {}) ===",
@@ -45,8 +47,20 @@ fn main() {
     );
     print!("{}", target);
 
-    let mut stoke = Stoke::new(config, spec);
-    let result = stoke.run();
+    // The budget is generous — this search takes well under a minute — but
+    // demonstrates the shape: the MCMC phases (where virtually all the
+    // time goes) cannot overrun the deadline. Only the final symbolic
+    // validation of the few surviving candidates runs unpreempted.
+    let session = Session::new(config)
+        .with_budget(Budget::unlimited().with_wall_clock(Duration::from_secs(120)));
+    let result = match session.run(&spec) {
+        Ok(result) => result,
+        Err(StokeError::BudgetExhausted { partial }) => {
+            println!("\n(budget ran out; reporting the best partial result)");
+            *partial
+        }
+        Err(e) => panic!("search failed: {e}"),
+    };
 
     println!(
         "\n=== STOKE rewrite ({} instructions, H(R) = {}) ===",

@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 use stoke_suite::emu::{run, MachineState};
 use stoke_suite::ir::{evaluate, OptLevel};
-use stoke_suite::stoke::{generate_testcases, Config, CostFn, InputSpec, Stoke, TargetSpec};
+use stoke_suite::stoke::{generate_testcases, Config, CostFn, InputSpec, Session, TargetSpec};
 use stoke_suite::verify::Validator;
 use stoke_suite::workloads::{all_kernels, hackers_delight, ParamKind};
 use stoke_suite::x86::{flow::LocSet, Gpr, Program};
@@ -101,6 +101,50 @@ fn every_kernel_baseline_matches_the_reference_semantics() {
     }
 }
 
+// Regression test: the hand-transcribed Figure 1 codes must agree with
+// 128-bit reference arithmetic under the emulator. The gcc -O3 stand-in
+// used to double-count cross partial products of the 64×64→128
+// decomposition, so it disagreed with both the STOKE rewrite and the
+// truth on almost every input.
+#[test]
+fn montgomery_paper_codes_match_reference_arithmetic() {
+    use stoke_suite::workloads::kernels::{MONT_GCC_O3, MONT_STOKE};
+    let gcc: Program = MONT_GCC_O3.parse().unwrap();
+    let stoke: Program = MONT_STOKE.parse().unwrap();
+    let mut rng = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for _ in 0..64 {
+        let (np, mh, ml) = (next(), next() & 0xffff_ffff, next() & 0xffff_ffff);
+        let (c0, c1) = (next(), next());
+        let mut state = MachineState::new();
+        state.set_gpr64(Gpr::Rsi, np);
+        state.set_gpr64(Gpr::Rcx, mh);
+        state.set_gpr64(Gpr::Rdx, ml);
+        state.set_gpr64(Gpr::Rdi, c0);
+        state.set_gpr64(Gpr::R8, c1);
+        let truth = (np as u128) * (((mh as u128) << 32) | ml as u128) + c0 as u128 + c1 as u128;
+        for (name, program) in [("gcc -O3", &gcc), ("STOKE", &stoke)] {
+            let out = run(program, &state);
+            assert!(out.faults.is_clean(), "{name} faulted");
+            assert_eq!(
+                out.state.read_gpr64(Gpr::Rdi),
+                truth as u64,
+                "{name}: low word (c0) disagrees with reference arithmetic"
+            );
+            assert_eq!(
+                out.state.read_gpr64(Gpr::R8),
+                (truth >> 64) as u64,
+                "{name}: high word (c1) disagrees with reference arithmetic"
+            );
+        }
+    }
+}
+
 #[test]
 fn validator_accepts_p21_conditional_move_rewrite() {
     // Figure 13: the cmov rewrite is equivalent to the O3 baseline of the
@@ -143,16 +187,17 @@ fn stoke_improves_a_hackers_delight_o0_target() {
         vec![InputSpec::value32(Gpr::Rdi)],
         kernel.live_out.clone(),
     );
-    let config = Config {
-        ell: 20,
-        num_testcases: 16,
-        synthesis_iterations: 2_000,
-        optimization_iterations: 400_000,
-        threads: 1,
-        ..Config::default()
-    };
-    let mut stoke = Stoke::new(config.clone(), spec.clone());
-    let result = stoke.run();
+    let config = Config::builder()
+        .ell(20)
+        .num_testcases(16)
+        .synthesis_iterations(2_000)
+        .optimization_iterations(400_000)
+        .threads(1)
+        .build()
+        .expect("valid configuration");
+    let result = Session::new(config.clone())
+        .run(&spec)
+        .expect("pipeline completes");
     // With a CI-sized proposal budget the search must never return
     // something slower than the target; with the larger budgets used by
     // the experiment harness it shortens the -O0 code substantially.

@@ -3,7 +3,7 @@
 //! symbolic validator — on a Hacker's Delight kernel, so CI exercises
 //! every layer in a single integration test.
 
-use stoke_suite::stoke::{Config, InputSpec, Stoke, TargetSpec, Verification};
+use stoke_suite::stoke::{Config, ConfigBuilder, InputSpec, Session, TargetSpec, Verification};
 use stoke_suite::workloads::hackers_delight;
 use stoke_suite::x86::Gpr;
 
@@ -17,16 +17,16 @@ fn quick_pipeline_on_hackers_delight_p01() {
         kernel.live_out.clone(),
     );
 
-    let mut config = Config::quick_test();
-    config.num_testcases = 16;
-    // `ell` must cover the 14-instruction O0 target so the optimization
-    // chain genuinely starts from it (a shorter rewrite buffer would
-    // truncate the target into an incorrect starting point).
-    config.ell = 16;
-    config.synthesis_iterations = 10_000;
-    config.optimization_iterations = 30_000;
-    let mut stoke = Stoke::new(config, spec);
-    let result = stoke.run();
+    // `ell` = 16 covers the 14-instruction O0 target so the optimization
+    // chain genuinely starts from it without growing the rewrite buffer.
+    let config: Config = ConfigBuilder::quick_test()
+        .num_testcases(16)
+        .ell(16)
+        .synthesis_iterations(10_000)
+        .optimization_iterations(30_000)
+        .build()
+        .expect("valid configuration");
+    let result = Session::new(config).run(&spec).expect("pipeline completes");
 
     // The search must return an actual verified rewrite (the run is
     // deterministic for the fixed default seed, so this cannot flake):

@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::Range;
 
-/// Strategy for `Vec<T>` with a length drawn from a range (see [`vec`]).
+/// Strategy for `Vec<T>` with a length drawn from a range (see [`vec()`]).
 pub struct VecStrategy<S> {
     element: S,
     size: Range<usize>,
