@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the decode-once execution backend: `eq'`
+//! evaluations per second with per-case interpretation (decode/analyze on
+//! every test case, the pre-PreparedProgram behaviour) versus prepared
+//! execution (decode once per proposal, execute across all test cases).
+//!
+//! Both variants run the identical term arithmetic (register/memory
+//! Hamming distance plus fault penalties) over the identical suite, so
+//! the measured difference is purely the execution backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stoke::{generate_testcases, Config, CostFn, TestSuite};
+use stoke_bench::spec_for;
+use stoke_emu::{run_instrs, PreparedProgram};
+use stoke_workloads::{hackers_delight, kernels, Kernel};
+use stoke_x86::Instruction;
+
+/// One `eq'` evaluation, interpreting the raw instruction slice per case.
+fn eq_prime_interpreted(cf: &CostFn, suite: &TestSuite, instrs: &[Instruction]) -> u64 {
+    let mut total = 0u64;
+    for case in &suite.cases {
+        let out = run_instrs(instrs, &case.input);
+        total += cf.reg_term(case, &out.state)
+            + cf.mem_term(case, &out.state)
+            + cf.err_term(&out.faults);
+    }
+    total
+}
+
+/// One `eq'` evaluation through the prepared backend, including the
+/// per-proposal prepare step (the cost a search actually pays).
+fn eq_prime_prepared(cf: &CostFn, suite: &TestSuite, instrs: &[Instruction]) -> u64 {
+    let prepared = PreparedProgram::new(instrs);
+    let mut total = 0u64;
+    for case in &suite.cases {
+        let out = prepared.run_prepared(&case.input);
+        total += cf.reg_term(case, &out.state)
+            + cf.mem_term(case, &out.state)
+            + cf.err_term(&out.faults);
+    }
+    total
+}
+
+fn bench_kernel(c: &mut Criterion, kernel: &Kernel) {
+    let spec = spec_for(kernel);
+    let suite = generate_testcases(&spec, 32, 1);
+    let cf = CostFn::new(
+        Config::default(),
+        suite.clone(),
+        spec.program.static_latency(),
+    );
+    let instrs: Vec<Instruction> = spec.program.iter().cloned().collect();
+    let expected = eq_prime_interpreted(&cf, &suite, &instrs);
+    assert_eq!(
+        eq_prime_prepared(&cf, &suite, &instrs),
+        expected,
+        "the two backends must agree before being compared"
+    );
+    let mut group = c.benchmark_group(format!("eq_prime/{}", kernel.name));
+    group.bench_function("interpreted_32_testcases", |b| {
+        b.iter(|| eq_prime_interpreted(&cf, &suite, &instrs))
+    });
+    group.bench_function("prepared_32_testcases", |b| {
+        b.iter(|| eq_prime_prepared(&cf, &suite, &instrs))
+    });
+    group.finish();
+}
+
+fn prepared_vs_interpreted(c: &mut Criterion) {
+    bench_kernel(c, &kernels::montgomery());
+    bench_kernel(c, &hackers_delight::p01());
+}
+
+criterion_group!(benches, prepared_vs_interpreted);
+criterion_main!(benches);

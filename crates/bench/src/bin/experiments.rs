@@ -76,13 +76,15 @@ impl SearchObserver for StreamingProgress {
 
     fn on_chain_progress(&self, progress: &ChainProgress) {
         eprintln!(
-            "  [{}] {:?} chain {}: {}/{} proposals, best cost {:.1}",
+            "  [{}] {:?} chain {}: {}/{} proposals, best cost {:.1} (current eq' {:.1} + perf {:.1})",
             self.kernel,
             progress.phase,
             progress.chain,
             progress.proposals,
             progress.iterations,
-            progress.best_cost
+            progress.best_cost,
+            progress.correctness,
+            progress.performance
         );
         self.collected.on_chain_progress(progress);
     }

@@ -4,6 +4,7 @@
 //! session-based driver API.
 
 use crate::error::ConfigError;
+use crate::model::CostModelSpec;
 use stoke_x86::{Gpr, Opcode};
 
 /// Which register-equality metric the cost function uses (§4.6).
@@ -81,6 +82,11 @@ pub struct Config {
     /// Registers eligible as random operands. `rsp` is excluded by default
     /// so that random rewrites do not trample the stack engine.
     pub register_pool: Vec<Gpr>,
+    /// Which cost model scores candidate rewrites (see
+    /// [`CostModelSpec`]): the paper's metric by default, with
+    /// correctness-only and weighted variants built in and
+    /// [`CostModelSpec::Custom`] for third-party models.
+    pub cost_model: CostModelSpec,
 }
 
 impl Default for Config {
@@ -137,6 +143,7 @@ impl Default for Config {
                 .copied()
                 .filter(|g| *g != Gpr::Rsp)
                 .collect(),
+            cost_model: CostModelSpec::Paper,
         }
     }
 }
@@ -227,6 +234,27 @@ impl Config {
         }
         if self.num_testcases == 0 {
             return Err(ConfigError::ZeroTestcases);
+        }
+        if let CostModelSpec::Weighted {
+            correctness,
+            performance,
+        } = self.cost_model
+        {
+            for (field, value) in [("correctness", correctness), ("performance", performance)] {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(ConfigError::InvalidCostWeight { field, value });
+                }
+            }
+            // A zero correctness weight silently degenerates the whole
+            // search: every rewrite scores as "correct", synthesis
+            // "succeeds" on its first random rewrite, and optimization
+            // ranks arbitrary incorrect programs by speed alone.
+            if correctness == 0.0 {
+                return Err(ConfigError::InvalidCostWeight {
+                    field: "correctness",
+                    value: correctness,
+                });
+            }
         }
         Ok(())
     }
@@ -335,6 +363,8 @@ impl ConfigBuilder {
         immediate_pool: Vec<i64>,
         /// Registers eligible as random operands.
         register_pool: Vec<Gpr>,
+        /// Which cost model scores candidate rewrites.
+        cost_model: CostModelSpec,
     }
 
     /// Validate every invariant and return the configuration.

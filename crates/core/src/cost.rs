@@ -2,10 +2,18 @@
 //! undefined-behaviour penalties (`err`, Equation 11), the improved
 //! register equality metric (Equation 15), and the static performance
 //! term (`perf`, Equation 13).
+//!
+//! The paper's term arithmetic lives in module-level helpers shared by two
+//! front ends: the pluggable [`CostModel`](crate::model::CostModel) layer
+//! (whose default, [`PaperCost`](crate::model::PaperCost), is what the
+//! search pipeline uses) and the concrete [`CostFn`] convenience type kept
+//! for benchmarks, examples and tests that want to evaluate `eq'`
+//! directly. Both evaluate rewrites through the decode-once
+//! [`PreparedProgram`] backend of `stoke-emu`.
 
 use crate::config::{Config, EqMetric};
 use crate::testcase::{TestSuite, Testcase};
-use stoke_emu::{run_instrs, Faults, MachineState};
+use stoke_emu::{Faults, MachineState, PreparedProgram};
 use stoke_x86::{Gpr, Instruction};
 
 /// The correctness-related cost of one rewrite on one test case.
@@ -36,6 +44,155 @@ pub struct EvalStats {
     pub evaluations: u64,
     /// Number of evaluations cut short by the early-termination bound.
     pub early_terminations: u64,
+}
+
+/// The `err(·)` term of Equation 11 for one execution's fault counters.
+pub(crate) fn err_term(config: &Config, faults: &Faults) -> u64 {
+    config.wsf * faults.sigsegv + config.wfp * faults.sigfpe + config.wur * faults.undef
+}
+
+/// The register distance term of one test case: strict (Equation 9) or
+/// improved (Equation 15) depending on the configuration.
+pub(crate) fn reg_term(
+    config: &Config,
+    suite: &TestSuite,
+    case: &Testcase,
+    rewrite_out: &MachineState,
+) -> u64 {
+    let mut total = 0u64;
+    for g in &suite.live_out.gprs {
+        let want = case.target_output.read_gpr64(*g);
+        match config.eq_metric {
+            EqMetric::Strict => {
+                let got = rewrite_out.read_gpr64(*g);
+                total += u64::from((want ^ got).count_ones());
+            }
+            EqMetric::Improved => {
+                let mut best = u64::from((want ^ rewrite_out.read_gpr64(*g)).count_ones());
+                for other in Gpr::ALL {
+                    let d = u64::from((want ^ rewrite_out.read_gpr64(other)).count_ones())
+                        + if other == *g { 0 } else { config.wm };
+                    best = best.min(d);
+                }
+                total += best;
+            }
+        }
+    }
+    for x in &suite.live_out.xmms {
+        let want = case.target_output.read_xmm(*x);
+        match config.eq_metric {
+            EqMetric::Strict => {
+                let got = rewrite_out.read_xmm(*x);
+                total += u64::from((want[0] ^ got[0]).count_ones())
+                    + u64::from((want[1] ^ got[1]).count_ones());
+            }
+            EqMetric::Improved => {
+                let dist = |got: [u64; 2]| {
+                    u64::from((want[0] ^ got[0]).count_ones())
+                        + u64::from((want[1] ^ got[1]).count_ones())
+                };
+                let mut best = dist(rewrite_out.read_xmm(*x));
+                for other in stoke_x86::Xmm::ALL {
+                    let d =
+                        dist(rewrite_out.read_xmm(other)) + if other == *x { 0 } else { config.wm };
+                    best = best.min(d);
+                }
+                total += best;
+            }
+        }
+    }
+    for f in &suite.live_out.flags {
+        let want = case.target_output.read_flag(*f);
+        let got = rewrite_out.read_flag(*f);
+        total += u64::from(want != got);
+    }
+    total
+}
+
+/// The memory distance term of one test case: Hamming distance over every
+/// byte written by either the target or the rewrite (unwritten sandbox
+/// bytes are identical by construction). Strict only; the improved metric
+/// is applied to registers alone in this reproduction.
+pub(crate) fn mem_term(suite: &TestSuite, case: &Testcase, rewrite_out: &MachineState) -> u64 {
+    let in_scratch = |addr: u64| {
+        suite
+            .scratch
+            .map(|(start, len)| addr >= start && addr < start + len)
+            .unwrap_or(false)
+    };
+    let mut total = 0u64;
+    for (addr, want) in case.target_output.memory.iter() {
+        if in_scratch(addr) {
+            continue;
+        }
+        let got = rewrite_out.memory.peek(addr);
+        total += u64::from((want ^ got).count_ones());
+    }
+    // Bytes the rewrite wrote at addresses the target never touched
+    // (their expected value is the unwritten default, zero).
+    let target_keys: std::collections::BTreeSet<u64> =
+        case.target_output.memory.iter().map(|(a, _)| a).collect();
+    for (addr, got) in rewrite_out.memory.iter() {
+        if !target_keys.contains(&addr) && !in_scratch(addr) {
+            total += u64::from(got.count_ones());
+        }
+    }
+    total
+}
+
+/// Evaluate `eq'` of a prepared rewrite on one test case.
+pub(crate) fn case_cost_prepared(
+    config: &Config,
+    suite: &TestSuite,
+    case: &Testcase,
+    prepared: &PreparedProgram<'_>,
+) -> CaseCost {
+    let outcome = prepared.run_prepared(&case.input);
+    CaseCost {
+        reg: reg_term(config, suite, case, &outcome.state),
+        mem: mem_term(suite, case, &outcome.state),
+        err: err_term(config, &outcome.faults),
+    }
+}
+
+/// Evaluate the full correctness term `eq'(R; T, τ)` (Equation 8) of a
+/// prepared rewrite across the whole suite, updating `stats`.
+///
+/// With `bound = Some(b)`, evaluation stops as soon as the running sum
+/// exceeds `b` (the early-termination optimization of §4.5) and returns
+/// `None`. The second component is the number of test cases evaluated.
+pub(crate) fn eq_prime_prepared(
+    config: &Config,
+    suite: &TestSuite,
+    prepared: &PreparedProgram<'_>,
+    stats: &mut EvalStats,
+    bound: Option<f64>,
+) -> (Option<u64>, usize) {
+    stats.evaluations += 1;
+    let mut total = 0u64;
+    for (i, case) in suite.cases.iter().enumerate() {
+        stats.testcases_run += 1;
+        total += case_cost_prepared(config, suite, case, prepared).total();
+        if let Some(bound) = bound {
+            if (total as f64) > bound {
+                stats.early_terminations += 1;
+                return (None, i + 1);
+            }
+        }
+    }
+    (Some(total), suite.cases.len())
+}
+
+/// Whether a candidate passes every test case of `suite` (`eq' == 0`).
+/// Does not touch any statistics — used by the re-rank / verification
+/// stage, whose probe executions are not part of the search statistics.
+pub(crate) fn passes_suite(
+    config: &Config,
+    suite: &TestSuite,
+    prepared: &PreparedProgram<'_>,
+) -> bool {
+    let mut stats = EvalStats::default();
+    eq_prime_prepared(config, suite, prepared, &mut stats, None).0 == Some(0)
 }
 
 /// The cost function of §4: `c(R; T) = eq'(R; T, τ) + perf_weight · H(R)`.
@@ -81,64 +238,27 @@ impl CostFn {
         &mut self.config
     }
 
+    /// An [`EvalContext`](crate::model::EvalContext) over this cost
+    /// function's configuration, suite and statistics, for scoring through
+    /// a [`CostModel`](crate::model::CostModel).
+    pub fn eval_context(&mut self) -> crate::model::EvalContext<'_> {
+        crate::model::EvalContext {
+            config: &self.config,
+            suite: &self.suite,
+            target_latency: self.target_latency,
+            stats: &mut self.stats,
+        }
+    }
+
     /// The `err(·)` term (Equation 11).
     pub fn err_term(&self, faults: &Faults) -> u64 {
-        self.config.wsf * faults.sigsegv
-            + self.config.wfp * faults.sigfpe
-            + self.config.wur * faults.undef
+        err_term(&self.config, faults)
     }
 
     /// The register distance term for one test case: strict (Equation 9)
     /// or improved (Equation 15) depending on the configuration.
     pub fn reg_term(&self, case: &Testcase, rewrite_out: &MachineState) -> u64 {
-        let mut total = 0u64;
-        for g in &self.suite.live_out.gprs {
-            let want = case.target_output.read_gpr64(*g);
-            match self.config.eq_metric {
-                EqMetric::Strict => {
-                    let got = rewrite_out.read_gpr64(*g);
-                    total += u64::from((want ^ got).count_ones());
-                }
-                EqMetric::Improved => {
-                    let mut best = u64::from((want ^ rewrite_out.read_gpr64(*g)).count_ones());
-                    for other in Gpr::ALL {
-                        let d = u64::from((want ^ rewrite_out.read_gpr64(other)).count_ones())
-                            + if other == *g { 0 } else { self.config.wm };
-                        best = best.min(d);
-                    }
-                    total += best;
-                }
-            }
-        }
-        for x in &self.suite.live_out.xmms {
-            let want = case.target_output.read_xmm(*x);
-            match self.config.eq_metric {
-                EqMetric::Strict => {
-                    let got = rewrite_out.read_xmm(*x);
-                    total += u64::from((want[0] ^ got[0]).count_ones())
-                        + u64::from((want[1] ^ got[1]).count_ones());
-                }
-                EqMetric::Improved => {
-                    let dist = |got: [u64; 2]| {
-                        u64::from((want[0] ^ got[0]).count_ones())
-                            + u64::from((want[1] ^ got[1]).count_ones())
-                    };
-                    let mut best = dist(rewrite_out.read_xmm(*x));
-                    for other in stoke_x86::Xmm::ALL {
-                        let d = dist(rewrite_out.read_xmm(other))
-                            + if other == *x { 0 } else { self.config.wm };
-                        best = best.min(d);
-                    }
-                    total += best;
-                }
-            }
-        }
-        for f in &self.suite.live_out.flags {
-            let want = case.target_output.read_flag(*f);
-            let got = rewrite_out.read_flag(*f);
-            total += u64::from(want != got);
-        }
-        total
+        reg_term(&self.config, &self.suite, case, rewrite_out)
     }
 
     /// The memory distance term for one test case: Hamming distance over
@@ -147,51 +267,29 @@ impl CostFn {
     /// metric; the improved variant is only applied to registers in this
     /// reproduction.
     pub fn mem_term(&self, case: &Testcase, rewrite_out: &MachineState) -> u64 {
-        let in_scratch = |addr: u64| {
-            self.suite
-                .scratch
-                .map(|(start, len)| addr >= start && addr < start + len)
-                .unwrap_or(false)
-        };
-        let mut total = 0u64;
-        for (addr, want) in case.target_output.memory.iter() {
-            if in_scratch(addr) {
-                continue;
-            }
-            let got = rewrite_out.memory.peek(addr);
-            total += u64::from((want ^ got).count_ones());
-        }
-        // Bytes the rewrite wrote at addresses the target never touched
-        // (their expected value is the unwritten default, zero).
-        let target_keys: std::collections::BTreeSet<u64> =
-            case.target_output.memory.iter().map(|(a, _)| a).collect();
-        for (addr, got) in rewrite_out.memory.iter() {
-            if !target_keys.contains(&addr) && !in_scratch(addr) {
-                total += u64::from(got.count_ones());
-            }
-        }
-        total
+        mem_term(&self.suite, case, rewrite_out)
     }
 
     /// Evaluate `eq'` on a single test case.
     pub fn case_cost(&self, case: &Testcase, rewrite: &[Instruction]) -> CaseCost {
-        let outcome = run_instrs(rewrite, &case.input);
-        CaseCost {
-            reg: self.reg_term(case, &outcome.state),
-            mem: self.mem_term(case, &outcome.state),
-            err: self.err_term(&outcome.faults),
-        }
+        case_cost_prepared(
+            &self.config,
+            &self.suite,
+            case,
+            &PreparedProgram::new(rewrite),
+        )
     }
 
     /// Evaluate the full correctness term `eq'(R; T, τ)` (Equation 8).
+    ///
+    /// The rewrite is prepared once and then executed on every test case
+    /// (the decode-once backend of
+    /// [`stoke_emu::PreparedProgram`]).
     pub fn eq_prime(&mut self, rewrite: &[Instruction]) -> u64 {
-        self.stats.evaluations += 1;
-        let mut total = 0u64;
-        for case in &self.suite.cases {
-            self.stats.testcases_run += 1;
-            total += self.case_cost(case, rewrite).total();
-        }
-        total
+        let prepared = PreparedProgram::new(rewrite);
+        eq_prime_prepared(&self.config, &self.suite, &prepared, &mut self.stats, None)
+            .0
+            .expect("unbounded evaluation always completes")
     }
 
     /// The performance term: the static latency heuristic `H(R)` of
@@ -215,17 +313,14 @@ impl CostFn {
         rewrite: &[Instruction],
         bound: f64,
     ) -> (Option<u64>, usize) {
-        self.stats.evaluations += 1;
-        let mut total = 0u64;
-        for (i, case) in self.suite.cases.iter().enumerate() {
-            self.stats.testcases_run += 1;
-            total += self.case_cost(case, rewrite).total();
-            if (total as f64) > bound {
-                self.stats.early_terminations += 1;
-                return (None, i + 1);
-            }
-        }
-        (Some(total), self.suite.cases.len())
+        let prepared = PreparedProgram::new(rewrite);
+        eq_prime_prepared(
+            &self.config,
+            &self.suite,
+            &prepared,
+            &mut self.stats,
+            Some(bound),
+        )
     }
 }
 

@@ -2,29 +2,32 @@
 //! errors, time/iteration budgets with cancellation, observer hooks, and
 //! a multi-target batch entry point.
 //!
-//! [`Session`] is the public front door to the Figure 9 pipeline. Where
-//! the original [`Stoke`](crate::search::Stoke) API ran one target,
-//! blocking and unbounded, a session can bound a search by wall-clock
-//! time or proposal count ([`Budget`]), cancel it from another thread
-//! ([`CancelToken`]), stream per-phase progress
-//! ([`SearchObserver`]), and schedule
-//! many targets across the thread pool ([`Session::run_batch`]).
+//! [`Session`] is the public front door to the Figure 9 pipeline: it can
+//! bound a search by wall-clock time or proposal count ([`Budget`]),
+//! cancel it from another thread ([`CancelToken`]), stream per-phase
+//! progress ([`SearchObserver`]), schedule many targets across the thread
+//! pool ([`Session::run_batch`]), and swap the evaluation pipeline's
+//! stages: the cost model through the configuration
+//! ([`Config::cost_model`](crate::config::Config::cost_model)) and the
+//! validation strategy through [`Session::with_verifier`].
 
 use crate::config::Config;
 use crate::cost::CostFn;
 use crate::error::StokeError;
 use crate::mcmc::{Chain, ChainResult, Rewrite};
-use crate::observer::{ChainProgress, NullObserver, Phase, SearchObserver, ValidationVerdict};
+use crate::observer::{ChainProgress, NullObserver, Phase, SearchObserver};
 use crate::search::{SearchStats, StokeResult, Verification};
 use crate::testcase::{generate_testcases, TargetSpec, TestSuite};
+use crate::verifier::{Cascade, Symbolic, TestOnly, Verifier, VerifyContext, VerifyStatus};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use stoke_emu::TimingModel;
-use stoke_verify::{EquivResult, Validator};
 use stoke_x86::Program;
 
 static NULL_OBSERVER: NullObserver = NullObserver;
+static DEFAULT_VERIFIER: Cascade<Symbolic> = Cascade::new(Symbolic);
+static TEST_ONLY_VERIFIER: TestOnly = TestOnly;
 
 /// A shared cancellation flag: clone it, hand it to another thread, and
 /// [`cancel`](CancelToken::cancel) stops every chain of the session that
@@ -273,6 +276,7 @@ pub struct Session {
     config: Config,
     budget: Budget,
     observer: Option<Arc<dyn SearchObserver>>,
+    verifier: Option<Arc<dyn Verifier>>,
 }
 
 impl Session {
@@ -284,6 +288,7 @@ impl Session {
             config,
             budget: Budget::unlimited(),
             observer: None,
+            verifier: None,
         }
     }
 
@@ -296,6 +301,14 @@ impl Session {
     /// Stream pipeline events to `observer`.
     pub fn with_observer(mut self, observer: Arc<dyn SearchObserver>) -> Session {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Verify surviving candidates with `verifier` instead of the default
+    /// [`Cascade`] (test suite, then symbolic validation with
+    /// counterexample feedback, then a re-test on the refined suite).
+    pub fn with_verifier(mut self, verifier: Arc<dyn Verifier>) -> Session {
+        self.verifier = Some(verifier);
         self
     }
 
@@ -319,6 +332,13 @@ impl Session {
         match &self.observer {
             Some(o) => o.as_ref(),
             None => &NULL_OBSERVER,
+        }
+    }
+
+    fn verifier(&self) -> &dyn Verifier {
+        match &self.verifier {
+            Some(v) => v.as_ref(),
+            None => &DEFAULT_VERIFIER,
         }
     }
 
@@ -360,24 +380,8 @@ impl Session {
         spec: &TargetSpec,
         suite: TestSuite,
     ) -> Result<StokeResult, StokeError> {
-        self.run_with_suite_refined(spec, suite).0
-    }
-
-    /// As [`Session::run_with_suite`], but also hand back the test suite —
-    /// including any counterexamples validation added to it — so the
-    /// deprecated [`Stoke`](crate::search::Stoke) shim can preserve the
-    /// old API's suite-refinement persistence across runs.
-    pub(crate) fn run_with_suite_refined(
-        &self,
-        spec: &TargetSpec,
-        suite: TestSuite,
-    ) -> (Result<StokeResult, StokeError>, TestSuite) {
         let clock = BudgetClock::start(&self.budget);
-        let (result, suite) = self.run_target_refined(spec, Some(suite), &clock, 0);
-        (
-            result,
-            suite.expect("the suite passed in is always returned"),
-        )
+        self.run_target(spec, Some(suite), &clock, 0)
     }
 
     /// Run the full pipeline on every target, scheduling them across the
@@ -430,21 +434,9 @@ impl Session {
         clock: &BudgetClock,
         target: usize,
     ) -> Result<StokeResult, StokeError> {
-        self.run_target_refined(spec, suite, clock, target).0
-    }
-
-    fn run_target_refined(
-        &self,
-        spec: &TargetSpec,
-        suite: Option<TestSuite>,
-        clock: &BudgetClock,
-        target: usize,
-    ) -> (Result<StokeResult, StokeError>, Option<TestSuite>) {
-        if let Err(e) = self.config.validate() {
-            return (Err(e.into()), suite);
-        }
+        self.config.validate()?;
         if spec.program.is_empty() {
-            return (Err(StokeError::EmptyTarget), suite);
+            return Err(StokeError::EmptyTarget);
         }
         let observer = self.observer();
         let suite = match suite {
@@ -459,22 +451,23 @@ impl Session {
             spec,
             suite,
             observer,
+            verifier: self.verifier(),
             clock,
             target,
             progress_every: self.progress_every(),
         };
-        let result = run.pipeline();
-        (result, Some(run.suite))
+        run.pipeline()
     }
 }
 
-/// One target's trip through the pipeline: the old `Stoke` internals plus
-/// the budget clock and observer hooks.
+/// One target's trip through the pipeline: the chains, the budget clock
+/// and observer hooks, and the verification stage.
 struct TargetRun<'a> {
     config: &'a Config,
     spec: &'a TargetSpec,
     suite: TestSuite,
     observer: &'a dyn SearchObserver,
+    verifier: &'a dyn Verifier,
     clock: &'a BudgetClock,
     target: usize,
     progress_every: u64,
@@ -624,30 +617,6 @@ impl TargetRun<'_> {
         candidates
     }
 
-    /// Validate a candidate against the target; on a counterexample, add
-    /// it to the test suite (Equation 12's refinement).
-    fn validate(&mut self, candidate: &Program, stats: &mut SearchStats) -> bool {
-        stats.validations += 1;
-        let validator = Validator::new(self.suite.live_out.clone());
-        let verdict = match validator.prove(&self.spec.program, candidate).0 {
-            EquivResult::Equivalent => true,
-            EquivResult::NotEquivalent(cex) => {
-                stats.counterexamples += 1;
-                self.suite.add_counterexample(self.spec, &cex);
-                false
-            }
-        };
-        self.observer.on_validation(
-            self.target,
-            if verdict {
-                ValidationVerdict::Proven
-            } else {
-                ValidationVerdict::Refuted
-            },
-        );
-        verdict
-    }
-
     /// Run the complete pipeline of Figure 9 and return the best verified
     /// rewrite, or [`StokeError::BudgetExhausted`] carrying the best
     /// partial result if the budget ran out mid-pipeline.
@@ -698,9 +667,10 @@ impl TargetRun<'_> {
         }
     }
 
-    /// The re-rank stage: filter candidates to the margin window, check
-    /// them on the test suite, optionally validate symbolically, and pick
-    /// the fastest survivor under the timing model. Announces
+    /// The re-rank stage: filter candidates to the margin window, hand
+    /// each to the verifier (the session's configured one, or [`TestOnly`]
+    /// when the budget ran out — the symbolic stage is not preemptible),
+    /// and pick the fastest survivor under the timing model. Announces
     /// [`Phase::Validation`] itself so candidate/validation events are
     /// phase-scoped on the budget-exhausted path too.
     fn rerank(
@@ -714,28 +684,33 @@ impl TargetRun<'_> {
         let target_cycles = timing.cycles(&self.spec.program);
         let best_cost = candidates.first().map(|(_, c)| *c).unwrap_or(f64::INFINITY);
         let margin = best_cost.max(1.0) * self.config.rerank_margin;
+        let verifier: &dyn Verifier = if symbolic {
+            self.verifier
+        } else {
+            &TEST_ONLY_VERIFIER
+        };
         let mut verified: Vec<(Program, u64, Verification)> = Vec::new();
         let mut testcase_clean: Vec<(Program, u64, Verification)> = Vec::new();
         for (program, cost) in candidates.into_iter().filter(|(_, c)| *c <= margin) {
             self.observer.on_candidate(self.target, &program, cost);
-            // Reject candidates that fail test cases outright.
-            let mut probe = self.make_cost_fn();
-            if probe.eq_prime(&program.iter().cloned().collect::<Vec<_>>()) != 0 {
-                continue;
-            }
+            let verdict = {
+                let mut ctx = VerifyContext {
+                    spec: self.spec,
+                    suite: &mut self.suite,
+                    config: self.config,
+                    stats: &mut stats,
+                    observer: self.observer,
+                    target: self.target,
+                };
+                verifier.verify(&program, &mut ctx)
+            };
             let cycles = timing.cycles(&program);
-            if !symbolic {
-                testcase_clean.push((program, cycles, Verification::TestsOnly));
-            } else if self.validate(&program, &mut stats) {
-                verified.push((program, cycles, Verification::Proven));
-            } else {
-                // Re-check on the refined suite: a genuine counterexample
-                // will now show a non-zero cost; a spurious one (caused by
-                // the uninterpreted-function abstraction) will not.
-                let mut recheck = self.make_cost_fn();
-                if recheck.eq_prime(&program.iter().cloned().collect::<Vec<_>>()) == 0 {
-                    testcase_clean.push((program, cycles, Verification::TestsOnly));
+            match verdict.status {
+                VerifyStatus::Proven => verified.push((program, cycles, Verification::Proven)),
+                VerifyStatus::TestsPassed => {
+                    testcase_clean.push((program, cycles, Verification::TestsOnly))
                 }
+                VerifyStatus::Refuted => {}
             }
         }
         verified.sort_by_key(|(_, cycles, _)| *cycles);
@@ -832,34 +807,45 @@ mod tests {
     #[test]
     fn validation_counterexample_refines_suite() {
         // Use a single test case so a wrong rewrite can slip through, then
-        // check the validator caught it and added a counterexample.
+        // check the default verifier caught it and added a counterexample.
         let config = Config {
             num_testcases: 1,
             ..quick_config()
         };
         let spec = clumsy_add();
-        let suite = generate_testcases(&spec, 1, config.seed);
-        let clock = BudgetClock::start(&Budget::unlimited());
-        let mut run = TargetRun {
-            config: &config,
-            spec: &spec,
-            suite,
-            observer: &NULL_OBSERVER,
-            clock: &clock,
-            target: 0,
-            progress_every: 0,
-        };
-        let before = run.suite.len();
+        let mut suite = generate_testcases(&spec, 1, config.seed);
+        let before = suite.len();
         let mut stats = SearchStats::default();
+        let verifier = &DEFAULT_VERIFIER;
         // This rewrite is actually correct, so validation must succeed and
         // must not add counterexamples.
         let right: Program = "movq rdi, rax\naddq rsi, rax\naddq 0, rax".parse().unwrap();
-        assert!(run.validate(&right, &mut stats));
-        assert_eq!(run.suite.len(), before);
-        // A genuinely wrong rewrite produces a counterexample.
+        let mut ctx = VerifyContext {
+            spec: &spec,
+            suite: &mut suite,
+            config: &config,
+            stats: &mut stats,
+            observer: &NULL_OBSERVER,
+            target: 0,
+        };
+        assert!(verifier.verify(&right, &mut ctx).accepted());
+        assert_eq!(suite.len(), before);
+        // A genuinely wrong rewrite produces a counterexample. (It is wrong
+        // on *almost* every input, so the single generated test case
+        // refutes it before the symbolic stage; verify it directly.)
         let broken: Program = "movq rdi, rax\naddq 1, rax".parse().unwrap();
-        assert!(!run.validate(&broken, &mut stats));
-        assert_eq!(run.suite.len(), before + 1);
+        let mut ctx = VerifyContext {
+            spec: &spec,
+            suite: &mut suite,
+            config: &config,
+            stats: &mut stats,
+            observer: &NULL_OBSERVER,
+            target: 0,
+        };
+        let verdict = crate::verifier::Symbolic.verify(&broken, &mut ctx);
+        assert!(!verdict.accepted());
+        assert_eq!(verdict.counterexamples.len(), 1);
+        assert_eq!(suite.len(), before + 1);
         assert_eq!(stats.counterexamples, 1);
     }
 

@@ -69,6 +69,18 @@ pub enum ConfigError {
     /// `num_testcases` is zero: with an empty suite every rewrite has
     /// cost 0, so synthesis instantly "succeeds" with garbage.
     ZeroTestcases,
+    /// A [`CostModelSpec::Weighted`](crate::model::CostModelSpec::Weighted)
+    /// term weight is out of range: weights must be finite and
+    /// non-negative, and the correctness weight strictly positive — a
+    /// negative weight would reward *incorrect* or *slower* rewrites, and
+    /// a zero correctness weight makes every rewrite score as "correct",
+    /// silently degenerating the search into a perf-only random walk.
+    InvalidCostWeight {
+        /// The offending weight (`correctness` or `performance`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -115,6 +127,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroTestcases => {
                 write!(f, "`num_testcases` must be at least 1")
+            }
+            ConfigError::InvalidCostWeight { field, value } => {
+                write!(
+                    f,
+                    "cost model weight `{field}` must be finite and non-negative \
+                     (and `correctness` strictly positive), got {value}"
+                )
             }
         }
     }

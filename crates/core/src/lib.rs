@@ -14,9 +14,17 @@
 //! validated configuration ([`Config::builder`]), typed errors
 //! ([`StokeError`]), wall-clock/proposal budgets with cancellation
 //! ([`Budget`]), progress observers ([`SearchObserver`]), and a
-//! multi-target batch entry point ([`Session::run_batch`]). The execution
-//! and verification substrates live in the companion crates `stoke-emu`
-//! and `stoke-verify`.
+//! multi-target batch entry point ([`Session::run_batch`]).
+//!
+//! The evaluation pipeline is pluggable at its two replaceable stages:
+//! cost models implement [`CostModel`] (selected per search through
+//! [`Config::cost_model`](config::Config::cost_model); the paper's metric
+//! is [`PaperCost`]) and validation strategies implement [`Verifier`]
+//! (installed with [`Session::with_verifier`]; the default [`Cascade`]
+//! runs tests, then the symbolic validator with counterexample feedback).
+//! Both evaluate rewrites through the decode-once/execute-many
+//! [`stoke_emu::PreparedProgram`] backend. The execution and verification
+//! substrates live in the companion crates `stoke-emu` and `stoke-verify`.
 //!
 //! ```
 //! use stoke::{Config, Session, TargetSpec};
@@ -49,20 +57,25 @@ pub mod cost;
 pub mod driver;
 pub mod error;
 pub mod mcmc;
+pub mod model;
 pub mod observer;
 pub mod search;
 pub mod testcase;
+pub mod verifier;
 
 pub use config::{Config, ConfigBuilder, EqMetric};
 pub use cost::{CaseCost, CostFn, EvalStats};
 pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, Session};
 pub use error::{ConfigError, StokeError};
 pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
+pub use model::{
+    CorrectnessOnly, Cost, CostModel, CostModelFactory, CostModelSpec, EvalContext, PaperCost,
+    Weighted,
+};
 pub use observer::{
     ChainProgress, CollectingObserver, NullObserver, Phase, SearchEvent, SearchObserver,
     ValidationVerdict,
 };
-#[allow(deprecated)]
-pub use search::Stoke;
 pub use search::{SearchStats, StokeResult, Verification};
 pub use testcase::{generate_testcases, InputKind, InputSpec, TargetSpec, TestSuite, Testcase};
+pub use verifier::{Cascade, Symbolic, TestOnly, Verdict, Verifier, VerifyContext, VerifyStatus};

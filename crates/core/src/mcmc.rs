@@ -5,10 +5,12 @@
 use crate::config::Config;
 use crate::cost::CostFn;
 use crate::driver::ChainControl;
+use crate::model::{Cost, CostModel};
 use crate::observer::ChainProgress;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use stoke_emu::PreparedProgram;
 use stoke_x86::{
     Instruction, Mem, OpcodeClasses, Operand, OperandKind, Program, Scale, SlotSpec, Width,
 };
@@ -72,6 +74,13 @@ impl Rewrite {
     /// The dense instruction sequence (borrowed clone).
     pub fn instructions(&self) -> Vec<Instruction> {
         self.slots.iter().flatten().cloned().collect()
+    }
+
+    /// Decode the dense instruction sequence (skipping `UNUSED` slots)
+    /// once into the execute-many form of
+    /// [`stoke_emu::PreparedProgram`], without cloning any instruction.
+    pub fn prepare(&self) -> PreparedProgram<'_> {
+        PreparedProgram::new(self.slots.iter().flatten())
     }
 }
 
@@ -348,11 +357,21 @@ pub struct ChainResult {
 }
 
 /// The Metropolis–Hastings chain of §3.2/§4.5.
+///
+/// Scoring goes through a pluggable [`CostModel`]: by default the one
+/// selected by the configuration's
+/// [`cost_model`](crate::config::Config::cost_model) (its synthesis or
+/// optimization variant depending on `use_perf`), or any model injected
+/// with [`Chain::with_model`]. Each proposal is decoded once into a
+/// [`PreparedProgram`] and then evaluated across all test cases.
 pub struct Chain<'a> {
     cost_fn: &'a mut CostFn,
+    model: Box<dyn CostModel>,
     proposer: Proposer,
-    /// Whether the performance term is included (optimization phase) or
-    /// not (synthesis phase).
+    /// Whether the chain is an optimization chain (the configured model's
+    /// optimization variant, and no zero-cost early stop) or a synthesis
+    /// chain (correctness-only model, stopping at the first zero-cost
+    /// rewrite).
     pub use_perf: bool,
     /// How often (in proposals) a trace point is recorded; 0 disables
     /// tracing.
@@ -360,11 +379,30 @@ pub struct Chain<'a> {
 }
 
 impl<'a> Chain<'a> {
-    /// Create a chain over a cost function.
+    /// Create a chain over a cost function, scoring with the model the
+    /// configuration selects: its optimization variant when `use_perf`,
+    /// its synthesis (correctness-only) variant otherwise.
     pub fn new(cost_fn: &'a mut CostFn, seed: u64, use_perf: bool) -> Chain<'a> {
+        let model = if use_perf {
+            cost_fn.config().cost_model.optimization_model()
+        } else {
+            cost_fn.config().cost_model.synthesis_model()
+        };
+        Chain::with_model(cost_fn, seed, use_perf, model)
+    }
+
+    /// Create a chain scoring with an explicit [`CostModel`], bypassing
+    /// the configuration's selection.
+    pub fn with_model(
+        cost_fn: &'a mut CostFn,
+        seed: u64,
+        use_perf: bool,
+        model: Box<dyn CostModel>,
+    ) -> Chain<'a> {
         let config = cost_fn.config().clone();
         Chain {
             cost_fn,
+            model,
             proposer: Proposer::new(config, seed),
             use_perf,
             trace_every: 0,
@@ -376,16 +414,11 @@ impl<'a> Chain<'a> {
         &mut self.proposer
     }
 
-    /// Evaluate a rewrite, returning `(eq', total cost)`.
-    fn eq_and_cost(&mut self, rewrite: &Rewrite) -> (f64, f64) {
-        let instrs = rewrite.instructions();
-        let eq = self.cost_fn.eq_prime(&instrs) as f64;
-        let cost = if self.use_perf {
-            eq + self.cost_fn.perf_term(&instrs)
-        } else {
-            eq
-        };
-        (eq, cost)
+    /// Fully score a rewrite through the chain's cost model.
+    fn score(&mut self, rewrite: &Rewrite) -> Cost {
+        let prepared = rewrite.prepare();
+        self.model
+            .score(&prepared, &mut self.cost_fn.eval_context())
     }
 
     /// Run the chain for `iterations` proposals starting from `start`.
@@ -407,11 +440,12 @@ impl<'a> Chain<'a> {
     ) -> ChainResult {
         let config = self.cost_fn.config().clone();
         let mut current = start;
-        let (current_eq, mut current_cost) = self.eq_and_cost(&current);
+        let mut current_terms = self.score(&current);
+        let mut current_cost = current_terms.total();
         let mut best = current.clone();
         let mut best_cost = current_cost;
-        let mut best_correct = (current_eq == 0.0).then(|| current.clone());
-        let mut best_correct_cost = if current_eq == 0.0 {
+        let mut best_correct = current_terms.is_correct().then(|| current.clone());
+        let mut best_correct_cost = if current_terms.is_correct() {
             current_cost
         } else {
             f64::INFINITY
@@ -435,40 +469,42 @@ impl<'a> Chain<'a> {
                 // cases as soon as the bound is exceeded.
                 let p: f64 = self.proposer.rng().gen::<f64>().max(1e-300);
                 let bound = current_cost - p.ln() / config.beta;
-                let instrs = candidate.instructions();
-                let perf = if self.use_perf {
-                    self.cost_fn.perf_term(&instrs)
-                } else {
-                    0.0
-                };
-                let eq_bound = bound - perf;
+                let prepared = candidate.prepare();
+                let mut ctx = self.cost_fn.eval_context();
+                let performance = self.model.perf_term(&prepared, &mut ctx);
+                let eq_bound = bound - performance;
                 if eq_bound < 0.0 {
                     None
                 } else {
-                    let (eq, _) = self.cost_fn.eq_prime_bounded(&instrs, eq_bound);
-                    eq.map(|e| (e as f64, e as f64 + perf))
+                    self.model
+                        .correctness_term(&prepared, Some(eq_bound), &mut ctx)
+                        .map(|correctness| Cost {
+                            correctness,
+                            performance,
+                        })
                 }
             } else {
-                let (eq, cost) = self.eq_and_cost(&candidate);
-                let delta = cost - current_cost;
+                let cost = self.score(&candidate);
+                let delta = cost.total() - current_cost;
                 let p: f64 = self.proposer.rng().gen();
                 if delta <= 0.0 || p < (-config.beta * delta).exp() {
-                    Some((eq, cost))
+                    Some(cost)
                 } else {
                     None
                 }
             };
-            if let Some((eq, cost)) = accept {
+            if let Some(cost) = accept {
                 current = candidate;
-                current_cost = cost;
+                current_terms = cost;
+                current_cost = cost.total();
                 accepted += 1;
-                if cost < best_cost {
+                if current_cost < best_cost {
                     best = current.clone();
-                    best_cost = cost;
+                    best_cost = current_cost;
                 }
-                if eq == 0.0 && cost < best_correct_cost {
+                if cost.is_correct() && current_cost < best_correct_cost {
                     best_correct = Some(current.clone());
-                    best_correct_cost = cost;
+                    best_correct_cost = current_cost;
                 }
             }
             if self.trace_every > 0 && iteration % self.trace_every == 0 {
@@ -485,6 +521,8 @@ impl<'a> Chain<'a> {
                 proposals,
                 iterations,
                 current_cost,
+                correctness: current_terms.correctness,
+                performance: current_terms.performance,
                 best_cost,
             });
             // Stop a pure-synthesis run as soon as a zero-cost rewrite is

@@ -1,0 +1,549 @@
+//! Pluggable cost models: the scoring stage of the evaluation pipeline.
+//!
+//! The paper's architecture has three replaceable stages — test-case cost,
+//! stochastic search, and symbolic validation. This module opens the first
+//! into a trait: a [`CostModel`] maps a prepared rewrite to a [`Cost`]
+//! with a per-term breakdown, and the MCMC chain
+//! ([`Chain`](crate::mcmc::Chain)) drives any model through the same
+//! early-terminating Metropolis–Hastings acceptance computation (§4.5).
+//!
+//! Three models ship with the crate:
+//!
+//! - [`PaperCost`] — the paper's metric (Equations 8/11/13/15), the
+//!   default for the optimization phase;
+//! - [`CorrectnessOnly`] — a combinator dropping the performance term,
+//!   which is exactly the synthesis phase of §4.4 (`perf_weight = 0`) as
+//!   its own model;
+//! - [`Weighted`] — a combinator rescaling the two terms of an inner
+//!   model.
+//!
+//! Third-party models plug in through [`CostModelFactory`] and
+//! [`CostModelSpec::Custom`], selected per search via
+//! [`Config::cost_model`](crate::config::Config::cost_model) or
+//! [`ConfigBuilder::cost_model`](crate::config::ConfigBuilder::cost_model):
+//!
+//! ```
+//! use stoke::{
+//!     Config, Cost, CostModel, CostModelFactory, CostModelSpec, EvalContext, Session,
+//!     TargetSpec,
+//! };
+//! use std::sync::Arc;
+//! use stoke_emu::PreparedProgram;
+//! use stoke_x86::{Gpr, Program};
+//!
+//! /// Scores rewrites by test-case correctness plus instruction *count*
+//! /// (shortest code wins, whatever its latency).
+//! struct FewestInstructions;
+//!
+//! impl CostModel for FewestInstructions {
+//!     fn name(&self) -> &'static str {
+//!         "fewest-instructions"
+//!     }
+//!     fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, _ctx: &mut EvalContext<'_>) -> f64 {
+//!         rewrite.len() as f64
+//!     }
+//!     fn correctness_term(
+//!         &mut self,
+//!         rewrite: &PreparedProgram<'_>,
+//!         bound: Option<f64>,
+//!         ctx: &mut EvalContext<'_>,
+//!     ) -> Option<f64> {
+//!         // Delegate the correctness half to the paper's metric.
+//!         stoke::PaperCost.correctness_term(rewrite, bound, ctx)
+//!     }
+//! }
+//!
+//! struct FewestInstructionsFactory;
+//! impl CostModelFactory for FewestInstructionsFactory {
+//!     fn optimization_model(&self) -> Box<dyn CostModel> {
+//!         Box::new(FewestInstructions)
+//!     }
+//! }
+//!
+//! let config = Config::builder()
+//!     .cost_model(CostModelSpec::Custom(Arc::new(FewestInstructionsFactory)))
+//!     .synthesis_iterations(500)
+//!     .optimization_iterations(2_000)
+//!     .num_testcases(4)
+//!     .threads(1)
+//!     .build()
+//!     .unwrap();
+//! let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+//! let spec = TargetSpec::with_gprs(target, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+//! let result = Session::new(config).run(&spec).unwrap();
+//! assert!(result.speedup() >= 1.0);
+//! ```
+
+use crate::config::Config;
+use crate::cost::{eq_prime_prepared, EvalStats};
+use crate::testcase::TestSuite;
+use std::fmt;
+use std::sync::Arc;
+use stoke_emu::PreparedProgram;
+
+/// A scored rewrite, broken down into the two terms of the paper's cost
+/// function `c(R; T) = eq'(R; T, τ) + perf(R)` (Equations 8 and 13).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// The correctness term (`eq'`), in bits of Hamming distance plus
+    /// fault penalties. Zero means the rewrite passed every test case.
+    pub correctness: f64,
+    /// The (weighted) performance term.
+    pub performance: f64,
+}
+
+impl Cost {
+    /// A cost made only of a correctness term.
+    pub fn correctness(value: f64) -> Cost {
+        Cost {
+            correctness: value,
+            performance: 0.0,
+        }
+    }
+
+    /// The total cost minimized by the search.
+    pub fn total(&self) -> f64 {
+        self.correctness + self.performance
+    }
+
+    /// Whether the rewrite passed every test case (`eq' == 0`); only such
+    /// candidates may enter the re-rank and verification stage.
+    pub fn is_correct(&self) -> bool {
+        self.correctness == 0.0
+    }
+}
+
+/// Everything a cost model may consult while scoring a rewrite: the search
+/// configuration, the (counterexample-refined) test suite, the target's
+/// static latency, and the evaluation statistics to update.
+///
+/// Borrowed per evaluation from the chain's [`CostFn`](crate::cost::CostFn)
+/// via [`CostFn::eval_context`](crate::cost::CostFn::eval_context), so a
+/// model always sees the latest suite refinements.
+pub struct EvalContext<'a> {
+    /// The search configuration.
+    pub config: &'a Config,
+    /// The test suite `τ` the rewrite is evaluated on.
+    pub suite: &'a TestSuite,
+    /// Static latency of the target, `H(T)`.
+    pub target_latency: u64,
+    /// Evaluation statistics (evaluations, test cases run, early
+    /// terminations) the model must keep up to date.
+    pub stats: &'a mut EvalStats,
+}
+
+/// A pluggable scoring policy for candidate rewrites.
+///
+/// The cost is split into a correctness term and a performance term so
+/// that the chain can run the early-termination acceptance computation of
+/// §4.5 for *any* model: the (cheap, static) performance term is computed
+/// first, the remaining budget is passed to
+/// [`correctness_term`](CostModel::correctness_term) as a bound, and
+/// evaluation stops as soon as the bound is exceeded.
+///
+/// Models are built per chain by a [`CostModelFactory`] (or one of the
+/// built-in [`CostModelSpec`] variants), so `&mut self` state is
+/// chain-local; share cross-chain state through `Arc` fields captured at
+/// factory time.
+pub trait CostModel: Send {
+    /// A short human-readable name, for diagnostics.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// The performance term of `rewrite` (the `perf(·)` of Equation 13 in
+    /// the paper's model). Must be cheap: it is evaluated on every
+    /// proposal *before* any test case runs.
+    fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> f64;
+
+    /// The correctness term of `rewrite` (the `eq'(·)` of Equation 8 in
+    /// the paper's model).
+    ///
+    /// With `bound = Some(b)` the model may stop evaluating as soon as the
+    /// term provably exceeds `b` and return `None` — the proposal is then
+    /// rejected without running the remaining test cases (§4.5). With
+    /// `bound = None` the model must evaluate fully and return `Some`.
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64>;
+
+    /// Fully score `rewrite`, returning the per-term breakdown.
+    fn score(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> Cost {
+        let correctness = self
+            .correctness_term(rewrite, None, ctx)
+            .expect("an unbounded correctness evaluation always completes");
+        let performance = self.perf_term(rewrite, ctx);
+        Cost {
+            correctness,
+            performance,
+        }
+    }
+}
+
+impl CostModel for Box<dyn CostModel> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> f64 {
+        (**self).perf_term(rewrite, ctx)
+    }
+
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64> {
+        (**self).correctness_term(rewrite, bound, ctx)
+    }
+
+    fn score(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> Cost {
+        (**self).score(rewrite, ctx)
+    }
+}
+
+/// The paper's cost metric: `eq'` over the test suite (Equations 8/11/15)
+/// plus the weighted static-latency heuristic (Equation 13). The default
+/// model of the optimization phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperCost;
+
+impl CostModel for PaperCost {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> f64 {
+        ctx.config.perf_weight * rewrite.static_latency() as f64
+    }
+
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64> {
+        eq_prime_prepared(ctx.config, ctx.suite, rewrite, ctx.stats, bound)
+            .0
+            .map(|eq| eq as f64)
+    }
+}
+
+/// A combinator dropping the performance term of an inner model: the
+/// synthesis phase of §4.4 (`perf_weight = 0`) as its own model. The
+/// default model of the synthesis phase, over [`PaperCost`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorrectnessOnly<M = PaperCost> {
+    inner: M,
+}
+
+impl<M: CostModel> CorrectnessOnly<M> {
+    /// Keep only the correctness term of `inner`.
+    pub fn new(inner: M) -> CorrectnessOnly<M> {
+        CorrectnessOnly { inner }
+    }
+}
+
+impl<M: CostModel> CostModel for CorrectnessOnly<M> {
+    fn name(&self) -> &'static str {
+        "correctness-only"
+    }
+
+    fn perf_term(&mut self, _rewrite: &PreparedProgram<'_>, _ctx: &mut EvalContext<'_>) -> f64 {
+        0.0
+    }
+
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64> {
+        self.inner.correctness_term(rewrite, bound, ctx)
+    }
+}
+
+/// A combinator rescaling the two terms of an inner model:
+/// `correctness · eq' + performance · perf`. Weights must be finite and
+/// non-negative, and the correctness weight strictly positive (enforced
+/// by [`Config::validate`](crate::config::Config::validate) when selected
+/// through [`CostModelSpec::Weighted`]). Constructed directly with a zero
+/// correctness weight, the correctness term short-circuits to `0.0`
+/// without running any test case — every rewrite then scores as
+/// "correct", so such a model is only useful for measurement harnesses,
+/// never for a real search.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted<M = PaperCost> {
+    inner: M,
+    correctness: f64,
+    performance: f64,
+}
+
+impl<M: CostModel> Weighted<M> {
+    /// Scale `inner`'s terms by the given weights.
+    pub fn new(inner: M, correctness: f64, performance: f64) -> Weighted<M> {
+        debug_assert!(correctness.is_finite() && correctness >= 0.0);
+        debug_assert!(performance.is_finite() && performance >= 0.0);
+        Weighted {
+            inner,
+            correctness,
+            performance,
+        }
+    }
+}
+
+impl<M: CostModel> CostModel for Weighted<M> {
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> f64 {
+        self.performance * self.inner.perf_term(rewrite, ctx)
+    }
+
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64> {
+        if self.correctness == 0.0 {
+            // The term is identically zero; skip the test cases entirely.
+            return Some(0.0);
+        }
+        self.inner
+            .correctness_term(rewrite, bound.map(|b| b / self.correctness), ctx)
+            .map(|c| c * self.correctness)
+    }
+}
+
+/// Builds fresh [`CostModel`] instances for each chain of a search.
+///
+/// A search runs several chains in parallel (and a batch runs several
+/// targets in parallel), each needing its own `&mut` model, hence the
+/// factory indirection. Share state across instances with `Arc` fields.
+pub trait CostModelFactory: Send + Sync {
+    /// The model of the optimization phase (correctness + performance,
+    /// §4.4).
+    fn optimization_model(&self) -> Box<dyn CostModel>;
+
+    /// The model of the synthesis phase. Defaults to the optimization
+    /// model with its performance term dropped ([`CorrectnessOnly`]), the
+    /// paper's synthesis formulation.
+    fn synthesis_model(&self) -> Box<dyn CostModel> {
+        Box::new(CorrectnessOnly::new(self.optimization_model()))
+    }
+}
+
+/// Which cost model a search uses, selected through
+/// [`Config::cost_model`](crate::config::Config::cost_model).
+#[derive(Clone, Default)]
+pub enum CostModelSpec {
+    /// [`PaperCost`] for optimization, [`CorrectnessOnly`] over it for
+    /// synthesis — the paper's pipeline and the default.
+    #[default]
+    Paper,
+    /// [`CorrectnessOnly`] for both phases: optimization stops rewarding
+    /// speed and searches for *any* equivalent code (useful for pure
+    /// synthesis experiments).
+    CorrectnessOnly,
+    /// [`Weighted`] over [`PaperCost`] for optimization (and its
+    /// correctness-only projection for synthesis). Both weights must be
+    /// finite and non-negative, and `correctness` strictly positive.
+    Weighted {
+        /// Scale of the correctness term.
+        correctness: f64,
+        /// Scale of the performance term.
+        performance: f64,
+    },
+    /// A third-party model built by the given factory.
+    Custom(Arc<dyn CostModelFactory>),
+}
+
+impl CostModelSpec {
+    /// Build the optimization-phase model.
+    pub fn optimization_model(&self) -> Box<dyn CostModel> {
+        match self {
+            CostModelSpec::Paper => Box::new(PaperCost),
+            CostModelSpec::CorrectnessOnly => Box::<CorrectnessOnly>::default(),
+            CostModelSpec::Weighted {
+                correctness,
+                performance,
+            } => Box::new(Weighted::new(PaperCost, *correctness, *performance)),
+            CostModelSpec::Custom(factory) => factory.optimization_model(),
+        }
+    }
+
+    /// Build the synthesis-phase model.
+    pub fn synthesis_model(&self) -> Box<dyn CostModel> {
+        match self {
+            CostModelSpec::Paper | CostModelSpec::CorrectnessOnly => {
+                Box::<CorrectnessOnly>::default()
+            }
+            CostModelSpec::Weighted {
+                correctness,
+                performance,
+            } => Box::new(CorrectnessOnly::new(Weighted::new(
+                PaperCost,
+                *correctness,
+                *performance,
+            ))),
+            CostModelSpec::Custom(factory) => factory.synthesis_model(),
+        }
+    }
+}
+
+impl fmt::Debug for CostModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelSpec::Paper => write!(f, "Paper"),
+            CostModelSpec::CorrectnessOnly => write!(f, "CorrectnessOnly"),
+            CostModelSpec::Weighted {
+                correctness,
+                performance,
+            } => f
+                .debug_struct("Weighted")
+                .field("correctness", correctness)
+                .field("performance", performance)
+                .finish(),
+            CostModelSpec::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl PartialEq for CostModelSpec {
+    fn eq(&self, other: &CostModelSpec) -> bool {
+        match (self, other) {
+            (CostModelSpec::Paper, CostModelSpec::Paper) => true,
+            (CostModelSpec::CorrectnessOnly, CostModelSpec::CorrectnessOnly) => true,
+            (
+                CostModelSpec::Weighted {
+                    correctness: ac,
+                    performance: ap,
+                },
+                CostModelSpec::Weighted {
+                    correctness: bc,
+                    performance: bp,
+                },
+            ) => ac == bc && ap == bp,
+            // Custom factories are opaque: equal only if they are the same
+            // allocation.
+            (CostModelSpec::Custom(a), CostModelSpec::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::cost::CostFn;
+    use crate::testcase::{generate_testcases, TargetSpec};
+    use stoke_x86::{Gpr, Program};
+
+    fn cost_fn() -> CostFn {
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+        let suite = generate_testcases(&spec, 8, 42);
+        CostFn::new(Config::quick_test(), suite, target.static_latency())
+    }
+
+    #[test]
+    fn paper_cost_matches_cost_fn() {
+        let mut cf = cost_fn();
+        let program: Program = "movq rdi, rax\nsubq rsi, rax".parse().unwrap();
+        let instrs: Vec<_> = program.iter().cloned().collect();
+        let expected_eq = cf.eq_prime(&instrs) as f64;
+        let expected_perf = cf.perf_term(&instrs);
+        let prepared = stoke_emu::PreparedProgram::of_program(&program);
+        let cost = PaperCost.score(&prepared, &mut cf.eval_context());
+        assert_eq!(cost.correctness, expected_eq);
+        assert_eq!(cost.performance, expected_perf);
+        assert_eq!(cost.total(), expected_eq + expected_perf);
+        assert!(!cost.is_correct());
+    }
+
+    #[test]
+    fn correctness_only_drops_the_perf_term() {
+        let mut cf = cost_fn();
+        let program: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let prepared = stoke_emu::PreparedProgram::of_program(&program);
+        let cost = CorrectnessOnly::<PaperCost>::default().score(&prepared, &mut cf.eval_context());
+        assert_eq!(cost.performance, 0.0);
+        assert!(cost.is_correct(), "the target scores eq' == 0 on itself");
+    }
+
+    #[test]
+    fn weighted_rescales_both_terms() {
+        let mut cf = cost_fn();
+        let program: Program = "movq rdi, rax\nsubq rsi, rax".parse().unwrap();
+        let prepared = stoke_emu::PreparedProgram::of_program(&program);
+        let base = PaperCost.score(&prepared, &mut cf.eval_context());
+        let scaled = Weighted::new(PaperCost, 2.0, 0.5).score(&prepared, &mut cf.eval_context());
+        assert_eq!(scaled.correctness, 2.0 * base.correctness);
+        assert_eq!(scaled.performance, 0.5 * base.performance);
+        // A zero correctness weight skips test execution entirely.
+        let before = cf.stats.testcases_run;
+        let zero = Weighted::new(PaperCost, 0.0, 1.0).correctness_term(
+            &prepared,
+            None,
+            &mut cf.eval_context(),
+        );
+        assert_eq!(zero, Some(0.0));
+        assert_eq!(cf.stats.testcases_run, before);
+    }
+
+    #[test]
+    fn bounded_evaluation_early_terminates_through_the_trait() {
+        let mut cf = cost_fn();
+        let wrong: Program = "movq 0, rax".parse().unwrap();
+        let prepared = stoke_emu::PreparedProgram::of_program(&wrong);
+        let res = PaperCost.correctness_term(&prepared, Some(5.0), &mut cf.eval_context());
+        assert_eq!(res, None);
+        assert_eq!(cf.stats.early_terminations, 1);
+    }
+
+    #[test]
+    fn spec_selects_models() {
+        assert_eq!(CostModelSpec::Paper.optimization_model().name(), "paper");
+        assert_eq!(
+            CostModelSpec::Paper.synthesis_model().name(),
+            "correctness-only"
+        );
+        assert_eq!(
+            CostModelSpec::CorrectnessOnly.optimization_model().name(),
+            "correctness-only"
+        );
+        assert_eq!(
+            CostModelSpec::Weighted {
+                correctness: 1.0,
+                performance: 2.0
+            }
+            .optimization_model()
+            .name(),
+            "weighted"
+        );
+    }
+
+    #[test]
+    fn spec_equality_and_debug() {
+        assert_eq!(CostModelSpec::Paper, CostModelSpec::Paper);
+        assert_ne!(CostModelSpec::Paper, CostModelSpec::CorrectnessOnly);
+        struct F;
+        impl CostModelFactory for F {
+            fn optimization_model(&self) -> Box<dyn CostModel> {
+                Box::new(PaperCost)
+            }
+        }
+        let a = Arc::new(F);
+        let spec_a = CostModelSpec::Custom(a.clone());
+        assert_eq!(spec_a, CostModelSpec::Custom(a));
+        assert_ne!(spec_a, CostModelSpec::Custom(Arc::new(F)));
+        assert_eq!(format!("{spec_a:?}"), "Custom(..)");
+    }
+}

@@ -37,6 +37,10 @@ pub struct ChainProgress {
     pub iterations: u64,
     /// Cost of the chain's current rewrite.
     pub current_cost: f64,
+    /// Correctness term (`eq'`) of the current rewrite's cost breakdown.
+    pub correctness: f64,
+    /// Performance term of the current rewrite's cost breakdown.
+    pub performance: f64,
     /// Lowest cost the chain has seen.
     pub best_cost: f64,
 }

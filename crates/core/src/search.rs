@@ -1,17 +1,13 @@
-//! Results of the STOKE pipeline (Figure 9) and the deprecated blocking
-//! [`Stoke`] front end.
+//! Results of the STOKE pipeline (Figure 9).
 //!
 //! The pipeline itself — test case generation, parallel synthesis,
 //! parallel optimization, validation with counterexample refinement, and
 //! re-ranking — lives in the session driver ([`crate::driver`]); this
 //! module keeps the result types ([`StokeResult`], [`SearchStats`],
-//! [`Verification`]) and a thin shim preserving the old `Stoke::run()`
-//! API for one release.
+//! [`Verification`]). The deprecated blocking `Stoke` front end that used
+//! to live here was removed after its one-release deprecation window; see
+//! `MIGRATION.md` at the repository root for the `Session` mapping.
 
-use crate::config::Config;
-use crate::driver::Session;
-use crate::error::StokeError;
-use crate::testcase::{generate_testcases, TargetSpec, TestSuite};
 use std::time::Duration;
 use stoke_x86::Program;
 
@@ -79,159 +75,5 @@ impl StokeResult {
         } else {
             self.target_cycles as f64 / self.rewrite_cycles as f64
         }
-    }
-}
-
-/// The original blocking, single-target search front end, kept for one
-/// release as a shim over [`Session`].
-///
-/// Unlike a session, a `Stoke` cannot be budgeted, cancelled, observed, or
-/// batched, and a configuration violating an invariant — previously
-/// accepted silently — now panics at [`Stoke::run`]. Migrate to
-/// [`Config::builder`](crate::config::Config::builder) +
-/// [`Session`]; see `MIGRATION.md` at the repository root.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session` (with `Config::builder()`) instead; see MIGRATION.md"
-)]
-pub struct Stoke {
-    config: Config,
-    spec: TargetSpec,
-    suite: TestSuite,
-}
-
-#[allow(deprecated)]
-impl Stoke {
-    /// Create a search for a target, generating test cases immediately
-    /// (the instrumentation step of Figure 9).
-    pub fn new(config: Config, spec: TargetSpec) -> Stoke {
-        let suite = generate_testcases(&spec, config.num_testcases, config.seed);
-        Stoke {
-            config,
-            spec,
-            suite,
-        }
-    }
-
-    /// Create a search reusing an existing test suite.
-    pub fn with_suite(config: Config, spec: TargetSpec, suite: TestSuite) -> Stoke {
-        Stoke {
-            config,
-            spec,
-            suite,
-        }
-    }
-
-    /// The generated test suite.
-    pub fn suite(&self) -> &TestSuite {
-        &self.suite
-    }
-
-    /// The target specification.
-    pub fn spec(&self) -> &TargetSpec {
-        &self.spec
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &Config {
-        &self.config
-    }
-
-    /// Run the complete pipeline of Figure 9 and return the best verified
-    /// rewrite. As in the original API, counterexamples found during
-    /// validation persist in [`Stoke::suite`] after the run.
-    ///
-    /// # Panics
-    /// Panics if the configuration violates an invariant or the target is
-    /// empty — conditions the old API accepted and then crashed on (or
-    /// silently mis-optimized) deep inside the engine; [`Session::run`]
-    /// returns them as typed errors instead.
-    pub fn run(&mut self) -> StokeResult {
-        let session = Session::new(self.config.clone());
-        let (result, refined) = session.run_with_suite_refined(&self.spec, self.suite.clone());
-        self.suite = refined;
-        match result {
-            Ok(result) => result,
-            Err(StokeError::BudgetExhausted { partial }) => *partial,
-            Err(e) => panic!("STOKE search failed: {e}"),
-        }
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use stoke_x86::Gpr;
-
-    fn quick_config() -> Config {
-        Config {
-            ell: 8,
-            num_testcases: 8,
-            synthesis_iterations: 5_000,
-            optimization_iterations: 20_000,
-            threads: 1,
-            ..Config::default()
-        }
-    }
-
-    fn clumsy_add() -> TargetSpec {
-        let program: Program = "
-            movq rdi, rbx
-            movq rbx, rcx
-            movq rcx, rax
-            addq rsi, rax
-            movq rax, rbx
-            movq rbx, rax
-        "
-        .parse()
-        .unwrap();
-        TargetSpec::with_gprs(program, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax])
-    }
-
-    #[test]
-    fn shim_agrees_with_session() {
-        // The deprecated front end must produce exactly the result of the
-        // session it delegates to (same config, same suite, same seed).
-        let mut shim = Stoke::new(quick_config(), clumsy_add());
-        let shim_result = shim.run();
-        let session = Session::new(quick_config());
-        let session_result = session.run(&clumsy_add()).expect("session run succeeds");
-        assert_eq!(shim_result.rewrite, session_result.rewrite);
-        assert_eq!(shim_result.verification, session_result.verification);
-        assert_eq!(shim_result.rewrite_latency, session_result.rewrite_latency);
-    }
-
-    #[test]
-    fn shim_persists_validator_counterexamples_in_its_suite() {
-        // One test case lets a wrong optimization candidate reach the
-        // validator; any counterexamples it produces must survive in the
-        // shim's suite, as they did in the original API.
-        let config = Config {
-            num_testcases: 1,
-            ..quick_config()
-        };
-        let mut shim = Stoke::new(config, clumsy_add());
-        let before = shim.suite().len();
-        let result = shim.run();
-        assert_eq!(
-            shim.suite().len(),
-            before + result.stats.counterexamples as usize,
-            "every counterexample must be appended to the shim's suite"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "STOKE search failed")]
-    fn shim_panics_on_invalid_config() {
-        let config = Config {
-            threads: 0,
-            ..quick_config()
-        };
-        // Build via with_suite to skip test-case generation; the panic
-        // must come from the validation inside run().
-        let spec = clumsy_add();
-        let suite = generate_testcases(&spec, 2, 1);
-        Stoke::with_suite(config, spec, suite).run();
     }
 }

@@ -75,25 +75,37 @@ pub fn run(program: &Program, input: &MachineState) -> Outcome {
 
 /// Run a slice of instructions from `input` (see [`run`]).
 pub fn run_instrs(instrs: &[Instruction], input: &MachineState) -> Outcome {
-    let mut emu = Emulator {
-        state: input.clone(),
-        faults: Faults::default(),
-    };
+    let mut emu = Emulator::start(input);
     for instr in instrs {
         emu.step(instr);
     }
-    Outcome {
-        state: emu.state,
-        faults: emu.faults,
-    }
+    emu.finish()
 }
 
-struct Emulator {
-    state: MachineState,
-    faults: Faults,
+/// The sandboxed interpreter state shared by [`run_instrs`] and the
+/// prepared-program backend ([`crate::prepare::PreparedProgram`]), which
+/// reuses [`Emulator::execute`] so the two execution paths cannot drift
+/// apart semantically.
+pub(crate) struct Emulator {
+    pub(crate) state: MachineState,
+    pub(crate) faults: Faults,
 }
 
 impl Emulator {
+    pub(crate) fn start(input: &MachineState) -> Emulator {
+        Emulator {
+            state: input.clone(),
+            faults: Faults::default(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Outcome {
+        Outcome {
+            state: self.state,
+            faults: self.faults,
+        }
+    }
+
     fn step(&mut self, instr: &Instruction) {
         self.count_undefined_reads(instr);
         self.execute(instr);
@@ -233,7 +245,7 @@ impl Emulator {
         self.set_result_flags(w, r);
     }
 
-    fn execute(&mut self, instr: &Instruction) {
+    pub(crate) fn execute(&mut self, instr: &Instruction) {
         let ops = instr.operands();
         match instr.opcode() {
             Opcode::Nop => {}

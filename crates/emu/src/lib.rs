@@ -21,9 +21,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod exec;
+pub mod prepare;
 pub mod state;
 pub mod timing;
 
 pub use exec::{run, run_instrs, Faults, Outcome};
+pub use prepare::PreparedProgram;
 pub use state::{MachineState, Memory, XmmValue};
 pub use timing::{estimate_cycles, TimingModel};
