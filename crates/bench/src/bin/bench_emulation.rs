@@ -1,0 +1,168 @@
+//! Regenerates `BENCH_emulation.json`: median `eq'` evaluation times for
+//! the three execution backends (interp / prepared / batched) on the
+//! Montgomery and p01 kernels at 32 test cases, so the perf trajectory is
+//! tracked across releases instead of claimed once.
+//!
+//! ```text
+//! cargo run --release -p stoke-bench --bin bench-emulation -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the sample count to a smoke-test size (used by CI to
+//! keep the harness from rotting); `--out` overrides the output path
+//! (default `BENCH_emulation.json` in the current directory). The timing
+//! is a hand-rolled median-of-samples loop rather than the criterion
+//! harness, because the committed JSON needs stable medians and the
+//! criterion wall-clock harness is a dev-dependency printing min/mean/max
+//! only.
+
+use std::time::Instant;
+use stoke::{generate_testcases, BackendSpec, Config, CostFn};
+use stoke_bench::spec_for;
+use stoke_workloads::{hackers_delight, kernels, Kernel};
+use stoke_x86::Instruction;
+
+struct Measurement {
+    backend: &'static str,
+    median_ns_per_eval: f64,
+    evals_per_sec: f64,
+}
+
+/// Median nanoseconds per `eq'` evaluation: `samples` timed batches of
+/// `iters` evaluations each, median of the per-evaluation means. The
+/// running total is folded into a sink so the evaluation cannot be
+/// optimized away.
+fn measure(
+    cost: &mut CostFn,
+    instrs: &[Instruction],
+    iters: u32,
+    samples: usize,
+    sink: &mut u64,
+) -> f64 {
+    // Warm-up: populate scratch buffers and caches.
+    for _ in 0..iters {
+        *sink = sink.wrapping_add(cost.eq_prime(instrs));
+    }
+    let mut per_eval: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                *sink = sink.wrapping_add(cost.eq_prime(instrs));
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    per_eval.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    per_eval[samples / 2]
+}
+
+fn bench_kernel(kernel: &Kernel, iters: u32, samples: usize, sink: &mut u64) -> Vec<Measurement> {
+    let spec = spec_for(kernel);
+    let suite = generate_testcases(&spec, 32, 1);
+    let instrs: Vec<Instruction> = spec.program.iter().cloned().collect();
+    let backends = [
+        ("interp", BackendSpec::Interp),
+        ("prepared", BackendSpec::Prepared),
+        ("batched", BackendSpec::Batched),
+    ];
+    // The backends must agree before being compared.
+    let totals: Vec<u64> = backends
+        .iter()
+        .map(|(_, backend)| {
+            CostFn::new(
+                Config {
+                    backend: *backend,
+                    ..Config::default()
+                },
+                suite.clone(),
+                spec.program.static_latency(),
+            )
+            .eq_prime(&instrs)
+        })
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "{}: backends disagree on eq' ({totals:?})",
+        kernel.name
+    );
+    backends
+        .iter()
+        .map(|(name, backend)| {
+            let mut cost = CostFn::new(
+                Config {
+                    backend: *backend,
+                    ..Config::default()
+                },
+                suite.clone(),
+                spec.program.static_latency(),
+            );
+            let median = measure(&mut cost, &instrs, iters, samples, sink);
+            Measurement {
+                backend: name,
+                median_ns_per_eval: median,
+                evals_per_sec: 1e9 / median,
+            }
+        })
+        .collect()
+}
+
+fn json_for(kernel_name: &str, measurements: &[Measurement]) -> String {
+    let by_name = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.backend == name)
+            .expect("all backends measured")
+    };
+    let speedup = |a: &str, b: &str| by_name(b).median_ns_per_eval / by_name(a).median_ns_per_eval;
+    let mut out = format!("    {{\n      \"kernel\": \"{kernel_name}\",\n");
+    for m in measurements {
+        out.push_str(&format!(
+            "      \"{}\": {{ \"median_ns_per_eval\": {:.1}, \"evals_per_sec\": {:.1} }},\n",
+            m.backend, m.median_ns_per_eval, m.evals_per_sec
+        ));
+    }
+    out.push_str(&format!(
+        "      \"speedup_batched_vs_prepared\": {:.2},\n",
+        speedup("batched", "prepared")
+    ));
+    out.push_str(&format!(
+        "      \"speedup_batched_vs_interp\": {:.2}\n    }}",
+        speedup("batched", "interp")
+    ));
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_emulation.json".to_string());
+    let (iters, samples) = if quick { (20, 3) } else { (2_000, 15) };
+    let mut sink = 0u64;
+    let kernels = [kernels::montgomery(), hackers_delight::p01()];
+    let mut entries = Vec::new();
+    for kernel in &kernels {
+        eprintln!("benchmarking eq'/{} (32 test cases)...", kernel.name);
+        let measurements = bench_kernel(kernel, iters, samples, &mut sink);
+        for m in &measurements {
+            eprintln!(
+                "  {:<9} {:>10.1} ns/eval  {:>12.1} evals/s",
+                m.backend, m.median_ns_per_eval, m.evals_per_sec
+            );
+        }
+        entries.push(json_for(kernel.name, &measurements));
+    }
+    let json = format!(
+        "{{\n  \"description\": \"median eq' suite-evaluation time per execution backend \
+         (32 test cases); regenerate with: cargo run --release -p stoke-bench --bin \
+         bench-emulation\",\n  \"quick\": {quick},\n  \"testcases\": 32,\n  \
+         \"samples_per_backend\": {samples},\n  \"evals_per_sample\": {iters},\n  \
+         \"kernels\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("wrote {out_path} (sink {sink:x})");
+}

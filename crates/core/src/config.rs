@@ -19,6 +19,58 @@ pub enum EqMetric {
     Improved,
 }
 
+/// Which execution backend evaluates candidate rewrites over the test
+/// suite (see the README's "Execution backends" section).
+///
+/// All three backends share one set of instruction semantics and are
+/// bit-identical in every observable — final states, fault counters,
+/// cost terms, early-termination decisions, evaluation statistics — so
+/// switching backends never changes a search result, only its speed.
+///
+/// ```
+/// use stoke::{BackendSpec, Config};
+///
+/// assert_eq!(Config::default().backend, BackendSpec::Batched);
+/// let config = Config::builder()
+///     .backend(BackendSpec::Prepared)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.backend, BackendSpec::Prepared);
+/// assert_eq!("interp".parse(), Ok(BackendSpec::Interp));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// Decode and execute each instruction per test case
+    /// ([`stoke_emu::run_instrs`]): the reference semantics. Simplest to
+    /// audit, slowest to run.
+    Interp,
+    /// Decode once per proposal, execute many
+    /// ([`stoke_emu::PreparedProgram`]): hoists decode and use-set
+    /// analysis out of the per-case loop.
+    Prepared,
+    /// Execute all test cases in lockstep over a structure-of-arrays
+    /// state ([`stoke_emu::BatchedProgram`]): amortizes dispatch across
+    /// the suite and lets the §4.5 early exit kill doomed test cases
+    /// per instruction step. The default.
+    #[default]
+    Batched,
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<BackendSpec, ConfigError> {
+        match s {
+            "interp" => Ok(BackendSpec::Interp),
+            "prepared" => Ok(BackendSpec::Prepared),
+            "batched" => Ok(BackendSpec::Batched),
+            _ => Err(ConfigError::UnknownBackend {
+                name: s.to_string(),
+            }),
+        }
+    }
+}
+
 /// Configuration of a STOKE search.
 ///
 /// The defaults reproduce Figure 11 of the paper:
@@ -87,6 +139,10 @@ pub struct Config {
     /// correctness-only and weighted variants built in and
     /// [`CostModelSpec::Custom`] for third-party models.
     pub cost_model: CostModelSpec,
+    /// Which execution backend evaluates rewrites over the test suite
+    /// (see [`BackendSpec`]); backends differ only in speed, never in
+    /// results.
+    pub backend: BackendSpec,
 }
 
 impl Default for Config {
@@ -144,6 +200,7 @@ impl Default for Config {
                 .filter(|g| *g != Gpr::Rsp)
                 .collect(),
             cost_model: CostModelSpec::Paper,
+            backend: BackendSpec::default(),
         }
     }
 }
@@ -365,6 +422,9 @@ impl ConfigBuilder {
         register_pool: Vec<Gpr>,
         /// Which cost model scores candidate rewrites.
         cost_model: CostModelSpec,
+        /// Which execution backend evaluates rewrites over the test
+        /// suite.
+        backend: BackendSpec,
     }
 
     /// Validate every invariant and return the configuration.
@@ -520,6 +580,25 @@ mod tests {
             Config::builder().num_testcases(0).build(),
             Err(ConfigError::ZeroTestcases)
         );
+    }
+
+    #[test]
+    fn backend_defaults_parses_and_builds() {
+        assert_eq!(Config::default().backend, BackendSpec::Batched);
+        assert_eq!("interp".parse(), Ok(BackendSpec::Interp));
+        assert_eq!("prepared".parse(), Ok(BackendSpec::Prepared));
+        assert_eq!("batched".parse(), Ok(BackendSpec::Batched));
+        assert_eq!(
+            "jit".parse::<BackendSpec>(),
+            Err(ConfigError::UnknownBackend {
+                name: "jit".to_string()
+            })
+        );
+        let c = Config::builder()
+            .backend(BackendSpec::Interp)
+            .build()
+            .unwrap();
+        assert_eq!(c.backend, BackendSpec::Interp);
     }
 
     #[test]

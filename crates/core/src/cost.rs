@@ -8,13 +8,21 @@
 //! (whose default, [`PaperCost`](crate::model::PaperCost), is what the
 //! search pipeline uses) and the concrete [`CostFn`] convenience type kept
 //! for benchmarks, examples and tests that want to evaluate `eq'`
-//! directly. Both evaluate rewrites through the decode-once
-//! [`PreparedProgram`] backend of `stoke-emu`.
+//! directly. Both evaluate rewrites through the execution backend selected
+//! by [`Config::backend`](crate::config::Config::backend) — the
+//! interpreter, the decode-once [`PreparedProgram`], or the batched
+//! structure-of-arrays [`BatchedProgram`]
+//! (the default). The three backends share one set of instruction
+//! semantics, and the `eq'` evaluators below are written so that every
+//! observable — totals, early-termination decisions, the number of test
+//! cases charged to [`EvalStats`] — is bit-identical across them.
 
-use crate::config::{Config, EqMetric};
+use crate::config::{BackendSpec, Config, EqMetric};
 use crate::testcase::{TestSuite, Testcase};
-use stoke_emu::{Faults, MachineState, PreparedProgram};
-use stoke_x86::{Gpr, Instruction};
+use stoke_emu::{
+    BatchState, BatchedProgram, ColumnRef, Faults, MachineState, Memory, PreparedProgram,
+};
+use stoke_x86::{Flag, Gpr, Instruction, Xmm};
 
 /// The correctness-related cost of one rewrite on one test case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,26 +59,68 @@ pub(crate) fn err_term(config: &Config, faults: &Faults) -> u64 {
     config.wsf * faults.sigsegv + config.wfp * faults.sigfpe + config.wur * faults.undef
 }
 
+/// A rewrite's final machine state as the cost terms read it, abstracted
+/// over where the state lives: an owned [`MachineState`] (interpreter and
+/// prepared backends) or a [`ColumnRef`] borrowing one column of a batch
+/// (the batched backend compares columns in place, without extracting
+/// them).
+pub(crate) trait OutView {
+    fn gpr64(&self, g: Gpr) -> u64;
+    fn xmm(&self, x: Xmm) -> stoke_emu::XmmValue;
+    fn flag(&self, f: Flag) -> bool;
+    fn memory(&self) -> &Memory;
+}
+
+impl OutView for MachineState {
+    fn gpr64(&self, g: Gpr) -> u64 {
+        self.read_gpr64(g)
+    }
+    fn xmm(&self, x: Xmm) -> stoke_emu::XmmValue {
+        self.read_xmm(x)
+    }
+    fn flag(&self, f: Flag) -> bool {
+        self.read_flag(f)
+    }
+    fn memory(&self) -> &Memory {
+        &self.memory
+    }
+}
+
+impl OutView for ColumnRef<'_> {
+    fn gpr64(&self, g: Gpr) -> u64 {
+        self.read_gpr64(g)
+    }
+    fn xmm(&self, x: Xmm) -> stoke_emu::XmmValue {
+        self.read_xmm(x)
+    }
+    fn flag(&self, f: Flag) -> bool {
+        self.read_flag(f)
+    }
+    fn memory(&self) -> &Memory {
+        ColumnRef::memory(self)
+    }
+}
+
 /// The register distance term of one test case: strict (Equation 9) or
 /// improved (Equation 15) depending on the configuration.
-pub(crate) fn reg_term(
+pub(crate) fn reg_term<V: OutView>(
     config: &Config,
     suite: &TestSuite,
     case: &Testcase,
-    rewrite_out: &MachineState,
+    rewrite_out: &V,
 ) -> u64 {
     let mut total = 0u64;
     for g in &suite.live_out.gprs {
         let want = case.target_output.read_gpr64(*g);
         match config.eq_metric {
             EqMetric::Strict => {
-                let got = rewrite_out.read_gpr64(*g);
+                let got = rewrite_out.gpr64(*g);
                 total += u64::from((want ^ got).count_ones());
             }
             EqMetric::Improved => {
-                let mut best = u64::from((want ^ rewrite_out.read_gpr64(*g)).count_ones());
+                let mut best = u64::from((want ^ rewrite_out.gpr64(*g)).count_ones());
                 for other in Gpr::ALL {
-                    let d = u64::from((want ^ rewrite_out.read_gpr64(other)).count_ones())
+                    let d = u64::from((want ^ rewrite_out.gpr64(other)).count_ones())
                         + if other == *g { 0 } else { config.wm };
                     best = best.min(d);
                 }
@@ -82,7 +132,7 @@ pub(crate) fn reg_term(
         let want = case.target_output.read_xmm(*x);
         match config.eq_metric {
             EqMetric::Strict => {
-                let got = rewrite_out.read_xmm(*x);
+                let got = rewrite_out.xmm(*x);
                 total += u64::from((want[0] ^ got[0]).count_ones())
                     + u64::from((want[1] ^ got[1]).count_ones());
             }
@@ -91,10 +141,9 @@ pub(crate) fn reg_term(
                     u64::from((want[0] ^ got[0]).count_ones())
                         + u64::from((want[1] ^ got[1]).count_ones())
                 };
-                let mut best = dist(rewrite_out.read_xmm(*x));
-                for other in stoke_x86::Xmm::ALL {
-                    let d =
-                        dist(rewrite_out.read_xmm(other)) + if other == *x { 0 } else { config.wm };
+                let mut best = dist(rewrite_out.xmm(*x));
+                for other in Xmm::ALL {
+                    let d = dist(rewrite_out.xmm(other)) + if other == *x { 0 } else { config.wm };
                     best = best.min(d);
                 }
                 total += best;
@@ -103,7 +152,7 @@ pub(crate) fn reg_term(
     }
     for f in &suite.live_out.flags {
         let want = case.target_output.read_flag(*f);
-        let got = rewrite_out.read_flag(*f);
+        let got = rewrite_out.flag(*f);
         total += u64::from(want != got);
     }
     total
@@ -113,28 +162,54 @@ pub(crate) fn reg_term(
 /// byte written by either the target or the rewrite (unwritten sandbox
 /// bytes are identical by construction). Strict only; the improved metric
 /// is applied to registers alone in this reproduction.
-pub(crate) fn mem_term(suite: &TestSuite, case: &Testcase, rewrite_out: &MachineState) -> u64 {
+pub(crate) fn mem_term<V: OutView>(suite: &TestSuite, case: &Testcase, rewrite_out: &V) -> u64 {
     let in_scratch = |addr: u64| {
         suite
             .scratch
             .map(|(start, len)| addr >= start && addr < start + len)
             .unwrap_or(false)
     };
-    let mut total = 0u64;
-    for (addr, want) in case.target_output.memory.iter() {
-        if in_scratch(addr) {
-            continue;
-        }
-        let got = rewrite_out.memory.peek(addr);
-        total += u64::from((want ^ got).count_ones());
+    // Fast path: target and rewrite outputs both derive from the same
+    // test-case input and sandboxed execution never changes the memory
+    // layout, so the byte-by-byte Hamming distance collapses to a
+    // word-wide XOR-popcount over the dense images.
+    if let Some(total) = case
+        .target_output
+        .memory
+        .diff_bits(rewrite_out.memory(), suite.scratch)
+    {
+        return total;
     }
-    // Bytes the rewrite wrote at addresses the target never touched
-    // (their expected value is the unwritten default, zero).
-    let target_keys: std::collections::BTreeSet<u64> =
-        case.target_output.memory.iter().map(|(a, _)| a).collect();
-    for (addr, got) in rewrite_out.memory.iter() {
-        if !target_keys.contains(&addr) && !in_scratch(addr) {
-            total += u64::from(got.count_ones());
+    // Both byte streams are address-ordered, so one allocation-free
+    // merge-join scores every written byte: addresses both sides wrote
+    // compare directly, and a byte written on only one side compares
+    // against the unwritten default of zero.
+    let mut want_it = case.target_output.memory.iter().peekable();
+    let mut got_it = rewrite_out.memory().iter().peekable();
+    let mut total = 0u64;
+    loop {
+        let (addr, diff) = match (want_it.peek().copied(), got_it.peek().copied()) {
+            (Some((wa, want)), Some((ga, got))) if wa == ga => {
+                want_it.next();
+                got_it.next();
+                (wa, want ^ got)
+            }
+            (Some((wa, want)), Some((ga, _))) if wa < ga => {
+                want_it.next();
+                (wa, want)
+            }
+            (_, Some((ga, got))) => {
+                got_it.next();
+                (ga, got)
+            }
+            (Some((wa, want)), None) => {
+                want_it.next();
+                (wa, want)
+            }
+            (None, None) => break,
+        };
+        if !in_scratch(addr) {
+            total += u64::from(diff.count_ones());
         }
     }
     total
@@ -183,6 +258,121 @@ pub(crate) fn eq_prime_prepared(
     (Some(total), suite.cases.len())
 }
 
+/// `eq'` through the interpreter ([`stoke_emu::run_instr_refs`]): every
+/// instruction is re-analyzed per test case. The reference arm of
+/// [`eq_prime_backend`]; same contract as [`eq_prime_prepared`].
+pub(crate) fn eq_prime_interp(
+    config: &Config,
+    suite: &TestSuite,
+    prepared: &PreparedProgram<'_>,
+    stats: &mut EvalStats,
+    bound: Option<f64>,
+) -> (Option<u64>, usize) {
+    stats.evaluations += 1;
+    let mut total = 0u64;
+    for (i, case) in suite.cases.iter().enumerate() {
+        stats.testcases_run += 1;
+        let outcome = stoke_emu::run_instr_refs(prepared.instructions(), &case.input);
+        total += CaseCost {
+            reg: reg_term(config, suite, case, &outcome.state),
+            mem: mem_term(suite, case, &outcome.state),
+            err: err_term(config, &outcome.faults),
+        }
+        .total();
+        if let Some(bound) = bound {
+            if (total as f64) > bound {
+                stats.early_terminations += 1;
+                return (None, i + 1);
+            }
+        }
+    }
+    (Some(total), suite.cases.len())
+}
+
+/// `eq'` through the batched backend: one lockstep pass over the whole
+/// suite, then an exact sequential walk of the per-column results. Same
+/// contract as [`eq_prime_prepared`], and bit-identical to it in totals,
+/// early-termination decisions, and statistics.
+///
+/// With a bound, the §4.5 check additionally runs as a per-instruction-step
+/// predicate *during* execution: a column's accumulated `err(·)` cost is a
+/// lower bound on its final case cost (the reg/mem terms only add), so once
+/// the running prefix of those lower bounds over columns `0..=k` exceeds
+/// the bound, the sequential walk below is guaranteed to early-terminate at
+/// or before case `k` — columns `k+1..` can never be read, and are killed
+/// so they stop costing work for the remaining instructions.
+pub(crate) fn eq_prime_batched(
+    config: &Config,
+    suite: &TestSuite,
+    prepared: &PreparedProgram<'_>,
+    scratch: &mut EvalScratch,
+    stats: &mut EvalStats,
+    bound: Option<f64>,
+) -> (Option<u64>, usize) {
+    stats.evaluations += 1;
+    let batched = BatchedProgram::new(prepared);
+    let batch = &mut scratch.batch;
+    // The scratch batch is only ever (re)filled from this cost function's
+    // own suite, so after the first evaluation the memory images can be
+    // restored from the store journal instead of re-copied.
+    batch.reload(suite.cases.iter().map(|c| &c.input));
+    match bound {
+        None => batched.run_lockstep(batch),
+        Some(b) => batched.run_lockstep_with(batch, |state| {
+            let n = state.width();
+            let mut prefix = 0u64;
+            let mut dead_from = n;
+            for col in 0..n {
+                prefix += err_term(config, &state.faults(col));
+                if (prefix as f64) > b {
+                    dead_from = col + 1;
+                    break;
+                }
+            }
+            for col in dead_from..n {
+                state.kill(col);
+            }
+            true
+        }),
+    }
+    let mut total = 0u64;
+    for (i, case) in suite.cases.iter().enumerate() {
+        stats.testcases_run += 1;
+        let col = batch.column(i);
+        total += CaseCost {
+            reg: reg_term(config, suite, case, &col),
+            mem: mem_term(suite, case, &col),
+            err: err_term(config, &col.faults()),
+        }
+        .total();
+        if let Some(b) = bound {
+            if (total as f64) > b {
+                stats.early_terminations += 1;
+                return (None, i + 1);
+            }
+        }
+    }
+    (Some(total), suite.cases.len())
+}
+
+/// Evaluate `eq'` through the execution backend selected by
+/// [`Config::backend`]. All arms share the contract (and the exact
+/// statistics accounting) of [`eq_prime_prepared`].
+pub(crate) fn eq_prime_backend(
+    config: &Config,
+    suite: &TestSuite,
+    prepared: &PreparedProgram<'_>,
+    scratch: &mut EvalScratch,
+    stats: &mut EvalStats,
+    bound: Option<f64>,
+) -> (Option<u64>, usize) {
+    match config.backend {
+        BackendSpec::Interp => eq_prime_interp(config, suite, prepared, stats, bound),
+        BackendSpec::Prepared => eq_prime_prepared(config, suite, prepared, stats, bound),
+        BackendSpec::Batched => eq_prime_batched(config, suite, prepared, scratch, stats, bound),
+    }
+}
+
 /// Whether a candidate passes every test case of `suite` (`eq' == 0`).
 /// Does not touch any statistics — used by the re-rank / verification
 /// stage, whose probe executions are not part of the search statistics.
@@ -192,7 +382,20 @@ pub(crate) fn passes_suite(
     prepared: &PreparedProgram<'_>,
 ) -> bool {
     let mut stats = EvalStats::default();
-    eq_prime_prepared(config, suite, prepared, &mut stats, None).0 == Some(0)
+    let mut scratch = EvalScratch::default();
+    eq_prime_backend(config, suite, prepared, &mut scratch, &mut stats, None).0 == Some(0)
+}
+
+/// Reusable evaluation buffers, owned by [`CostFn`] and lent to cost
+/// models through [`EvalContext`](crate::model::EvalContext).
+///
+/// Today this is the batched backend's [`BatchState`] — reloading one
+/// scratch batch per evaluation is what keeps the hot path allocation-free
+/// — but the struct is deliberately opaque so future backends can add
+/// buffers without breaking the `EvalContext` API.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    pub(crate) batch: BatchState,
 }
 
 /// The cost function of §4: `c(R; T) = eq'(R; T, τ) + perf_weight · H(R)`.
@@ -200,6 +403,7 @@ pub(crate) fn passes_suite(
 pub struct CostFn {
     config: Config,
     suite: TestSuite,
+    scratch: EvalScratch,
     /// Static latency of the target, kept for reporting speedups.
     pub target_latency: u64,
     /// Evaluation statistics.
@@ -212,6 +416,7 @@ impl CostFn {
         CostFn {
             config,
             suite,
+            scratch: EvalScratch::default(),
             target_latency,
             stats: EvalStats::default(),
         }
@@ -245,6 +450,7 @@ impl CostFn {
         crate::model::EvalContext {
             config: &self.config,
             suite: &self.suite,
+            scratch: &mut self.scratch,
             target_latency: self.target_latency,
             stats: &mut self.stats,
         }
@@ -283,13 +489,20 @@ impl CostFn {
     /// Evaluate the full correctness term `eq'(R; T, τ)` (Equation 8).
     ///
     /// The rewrite is prepared once and then executed on every test case
-    /// (the decode-once backend of
-    /// [`stoke_emu::PreparedProgram`]).
+    /// through the backend selected by
+    /// [`Config::backend`](crate::config::Config::backend).
     pub fn eq_prime(&mut self, rewrite: &[Instruction]) -> u64 {
         let prepared = PreparedProgram::new(rewrite);
-        eq_prime_prepared(&self.config, &self.suite, &prepared, &mut self.stats, None)
-            .0
-            .expect("unbounded evaluation always completes")
+        eq_prime_backend(
+            &self.config,
+            &self.suite,
+            &prepared,
+            &mut self.scratch,
+            &mut self.stats,
+            None,
+        )
+        .0
+        .expect("unbounded evaluation always completes")
     }
 
     /// The performance term: the static latency heuristic `H(R)` of
@@ -314,10 +527,11 @@ impl CostFn {
         bound: f64,
     ) -> (Option<u64>, usize) {
         let prepared = PreparedProgram::new(rewrite);
-        eq_prime_prepared(
+        eq_prime_backend(
             &self.config,
             &self.suite,
             &prepared,
+            &mut self.scratch,
             &mut self.stats,
             Some(bound),
         )
@@ -425,6 +639,43 @@ mod tests {
         let (res, evaluated) = cost.eq_prime_bounded(wrong.instrs(), 1e18);
         assert!(res.is_some());
         assert_eq!(evaluated, cost.suite().len());
+    }
+
+    #[test]
+    fn backends_agree_on_totals_decisions_and_stats() {
+        use crate::config::BackendSpec;
+        let programs: [Program; 4] = [
+            "movq rdi, rax\naddq rsi, rax".parse().unwrap(),
+            "movq rdi, rax\nsubq rsi, rax".parse().unwrap(),
+            "movq (rbx), rax".parse().unwrap(),
+            "movq 0, rax".parse().unwrap(),
+        ];
+        for bound in [None, Some(5.0), Some(60.0), Some(1e18)] {
+            for program in &programs {
+                let mut results = Vec::new();
+                for backend in [
+                    BackendSpec::Interp,
+                    BackendSpec::Prepared,
+                    BackendSpec::Batched,
+                ] {
+                    let (mut cost, _) = setup(EqMetric::Improved);
+                    cost.config_mut().backend = backend;
+                    let out = match bound {
+                        None => (Some(cost.eq_prime(program.instrs())), cost.suite().len()),
+                        Some(b) => cost.eq_prime_bounded(program.instrs(), b),
+                    };
+                    results.push((backend, out, cost.stats));
+                }
+                let (_, first_out, first_stats) = results[0];
+                for (backend, out, stats) in &results[1..] {
+                    assert_eq!(*out, first_out, "{backend:?} diverges on {program}");
+                    assert_eq!(
+                        *stats, first_stats,
+                        "{backend:?} stats diverge on {program}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,9 +22,13 @@
 //! is [`PaperCost`]) and validation strategies implement [`Verifier`]
 //! (installed with [`Session::with_verifier`]; the default [`Cascade`]
 //! runs tests, then the symbolic validator with counterexample feedback).
-//! Both evaluate rewrites through the decode-once/execute-many
-//! [`stoke_emu::PreparedProgram`] backend. The execution and verification
-//! substrates live in the companion crates `stoke-emu` and `stoke-verify`.
+//! Both evaluate rewrites through the execution backend selected by
+//! [`Config::backend`](config::Config::backend) ([`BackendSpec`]) — the
+//! batched structure-of-arrays [`stoke_emu::BatchedProgram`] by default,
+//! with the decode-once [`stoke_emu::PreparedProgram`] and the plain
+//! interpreter as bit-identical reference semantics. The execution and
+//! verification substrates live in the companion crates `stoke-emu` and
+//! `stoke-verify`.
 //!
 //! ```
 //! use stoke::{Config, Session, TargetSpec};
@@ -63,8 +67,8 @@ pub mod search;
 pub mod testcase;
 pub mod verifier;
 
-pub use config::{Config, ConfigBuilder, EqMetric};
-pub use cost::{CaseCost, CostFn, EvalStats};
+pub use config::{BackendSpec, Config, ConfigBuilder, EqMetric};
+pub use cost::{CaseCost, CostFn, EvalScratch, EvalStats};
 pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, Session};
 pub use error::{ConfigError, StokeError};
 pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};

@@ -75,7 +75,7 @@
 //! ```
 
 use crate::config::Config;
-use crate::cost::{eq_prime_prepared, EvalStats};
+use crate::cost::{eq_prime_backend, EvalScratch, EvalStats};
 use crate::testcase::TestSuite;
 use std::fmt;
 use std::sync::Arc;
@@ -125,6 +125,11 @@ pub struct EvalContext<'a> {
     pub config: &'a Config,
     /// The test suite `τ` the rewrite is evaluated on.
     pub suite: &'a TestSuite,
+    /// Reusable evaluation buffers (the batched backend's scratch state),
+    /// so models evaluating through
+    /// [`Config::backend`](crate::config::Config::backend) stay
+    /// allocation-free across proposals.
+    pub scratch: &'a mut EvalScratch,
     /// Static latency of the target, `H(T)`.
     pub target_latency: u64,
     /// Evaluation statistics (evaluations, test cases run, early
@@ -227,9 +232,16 @@ impl CostModel for PaperCost {
         bound: Option<f64>,
         ctx: &mut EvalContext<'_>,
     ) -> Option<f64> {
-        eq_prime_prepared(ctx.config, ctx.suite, rewrite, ctx.stats, bound)
-            .0
-            .map(|eq| eq as f64)
+        eq_prime_backend(
+            ctx.config,
+            ctx.suite,
+            rewrite,
+            ctx.scratch,
+            ctx.stats,
+            bound,
+        )
+        .0
+        .map(|eq| eq as f64)
     }
 }
 

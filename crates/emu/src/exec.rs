@@ -14,7 +14,7 @@
 use crate::state::{MachineState, XmmValue};
 use stoke_x86::{
     AluOp, BitOp, Flag, Gpr, Instruction, Mem, Opcode, Operand, Program, Reg, ShiftOp, SseBinOp,
-    SseShiftOp, UnOp, Width,
+    SseShiftOp, UnOp, Width, Xmm,
 };
 
 /// Counts of the undefined behaviours observed while executing a rewrite.
@@ -75,6 +75,17 @@ pub fn run(program: &Program, input: &MachineState) -> Outcome {
 
 /// Run a slice of instructions from `input` (see [`run`]).
 pub fn run_instrs(instrs: &[Instruction], input: &MachineState) -> Outcome {
+    run_instr_refs(instrs, input)
+}
+
+/// Run a sequence of borrowed instructions through the per-step
+/// interpreter (see [`run`]). This is the reference execution path of the
+/// `Interp` backend: per-instruction analysis (the undefined-read counter)
+/// is recomputed on every step, with no preparation pass.
+pub fn run_instr_refs<'a>(
+    instrs: impl IntoIterator<Item = &'a Instruction>,
+    input: &MachineState,
+) -> Outcome {
     let mut emu = Emulator::start(input);
     for instr in instrs {
         emu.step(instr);
@@ -83,9 +94,12 @@ pub fn run_instrs(instrs: &[Instruction], input: &MachineState) -> Outcome {
 }
 
 /// The sandboxed interpreter state shared by [`run_instrs`] and the
-/// prepared-program backend ([`crate::prepare::PreparedProgram`]), which
-/// reuses [`Emulator::execute`] so the two execution paths cannot drift
-/// apart semantically.
+/// prepared-program backend ([`crate::prepare::PreparedProgram`]). All
+/// instruction semantics live in the [`Cpu`] trait's provided
+/// [`execute`](Cpu::execute) method, which the batched backend
+/// ([`crate::batch::BatchedProgram`]) reuses through its own column-view
+/// [`Cpu`] implementation, so the execution paths cannot drift apart
+/// semantically.
 pub(crate) struct Emulator {
     pub(crate) state: MachineState,
     pub(crate) faults: Faults,
@@ -129,10 +143,50 @@ impl Emulator {
             }
         }
     }
+}
+
+/// The primitive state accesses an execution backend must provide; every
+/// instruction's semantics are written once, as provided methods over
+/// these primitives (most importantly [`Cpu::execute`]).
+///
+/// Implemented by [`Emulator`] (one [`MachineState`] per test case: the
+/// interpreter and prepared backends) and by the batched backend's column
+/// view into a structure-of-arrays [`crate::batch::BatchState`]. Because
+/// both run the identical provided bodies, the backends agree
+/// bit-for-bit by construction.
+pub(crate) trait Cpu {
+    /// Read a register view (masked to the view's width).
+    fn read_reg(&self, r: Reg) -> u64;
+    /// Write a register view with x86-64 merge semantics; marks defined.
+    fn write_reg(&mut self, r: Reg, value: u64);
+    /// Read the full 64-bit value of an architectural register.
+    fn read_gpr64(&self, g: Gpr) -> u64;
+    /// Overwrite the full 64-bit value of a register; marks defined.
+    fn set_gpr64(&mut self, g: Gpr, value: u64);
+    /// Read an SSE register.
+    fn read_xmm(&self, x: Xmm) -> XmmValue;
+    /// Write an SSE register; marks defined.
+    fn write_xmm(&mut self, x: Xmm, value: XmmValue);
+    /// Read a status flag.
+    fn read_flag(&self, f: Flag) -> bool;
+    /// Write a status flag; marks defined.
+    fn write_flag(&mut self, f: Flag, value: bool);
+    /// Sandboxed load of `len <= 8` bytes (`None` on a fault).
+    fn mem_load(&self, addr: u64, len: u64) -> Option<u64>;
+    /// Sandboxed store of `len <= 8` bytes (`false` on a fault).
+    fn mem_store(&mut self, addr: u64, value: u64, len: u64) -> bool;
+    /// Sandboxed 128-bit load.
+    fn mem_load128(&self, addr: u64) -> Option<XmmValue>;
+    /// Sandboxed 128-bit store.
+    fn mem_store128(&mut self, addr: u64, value: XmmValue) -> bool;
+    /// Record an out-of-sandbox memory access.
+    fn fault_sigsegv(&mut self);
+    /// Record an arithmetic exception.
+    fn fault_sigfpe(&mut self);
 
     fn addr(&self, m: &Mem) -> u64 {
-        let base = m.base.map_or(0, |b| self.state.read_gpr64(b));
-        let index = m.index.map_or(0, |i| self.state.read_gpr64(i));
+        let base = m.base.map_or(0, |b| self.read_gpr64(b));
+        let index = m.index.map_or(0, |i| self.read_gpr64(i));
         base.wrapping_add(index.wrapping_mul(m.scale.factor()))
             .wrapping_add(m.disp as i64 as u64)
     }
@@ -140,30 +194,30 @@ impl Emulator {
     /// Read a scalar operand at the given width (masked).
     fn read(&mut self, op: &Operand, w: Width) -> u64 {
         match op {
-            Operand::Reg(r) => self.state.read_reg(Reg::new(r.parent(), w)),
+            Operand::Reg(r) => self.read_reg(Reg::new(r.parent(), w)),
             Operand::Imm(i) => w.truncate(*i as u64),
             Operand::Mem(m) => {
                 let addr = self.addr(m);
-                match self.state.memory.load(addr, w.bytes()) {
+                match self.mem_load(addr, w.bytes()) {
                     Some(v) => v,
                     None => {
-                        self.faults.sigsegv += 1;
+                        self.fault_sigsegv();
                         0
                     }
                 }
             }
-            Operand::Xmm(x) => self.state.read_xmm(*x)[0],
+            Operand::Xmm(x) => self.read_xmm(*x)[0],
         }
     }
 
     /// Write a scalar result to a register or memory destination.
     fn write(&mut self, op: &Operand, w: Width, value: u64) {
         match op {
-            Operand::Reg(r) => self.state.write_reg(Reg::new(r.parent(), w), value),
+            Operand::Reg(r) => self.write_reg(Reg::new(r.parent(), w), value),
             Operand::Mem(m) => {
                 let addr = self.addr(m);
-                if !self.state.memory.store(addr, w.truncate(value), w.bytes()) {
-                    self.faults.sigsegv += 1;
+                if !self.mem_store(addr, w.truncate(value), w.bytes()) {
+                    self.fault_sigsegv();
                 }
             }
             Operand::Imm(_) | Operand::Xmm(_) => {
@@ -175,13 +229,13 @@ impl Emulator {
     /// Read a 128-bit operand (xmm or memory).
     fn read128(&mut self, op: &Operand) -> XmmValue {
         match op {
-            Operand::Xmm(x) => self.state.read_xmm(*x),
+            Operand::Xmm(x) => self.read_xmm(*x),
             Operand::Mem(m) => {
                 let addr = self.addr(m);
-                match self.state.memory.load128(addr) {
+                match self.mem_load128(addr) {
                     Some(v) => v,
                     None => {
-                        self.faults.sigsegv += 1;
+                        self.fault_sigsegv();
                         [0, 0]
                     }
                 }
@@ -193,11 +247,11 @@ impl Emulator {
     /// Write a 128-bit result (xmm or memory destination).
     fn write128(&mut self, op: &Operand, value: XmmValue) {
         match op {
-            Operand::Xmm(x) => self.state.write_xmm(*x, value),
+            Operand::Xmm(x) => self.write_xmm(*x, value),
             Operand::Mem(m) => {
                 let addr = self.addr(m);
-                if !self.state.memory.store128(addr, value) {
-                    self.faults.sigsegv += 1;
+                if !self.mem_store128(addr, value) {
+                    self.fault_sigsegv();
                 }
             }
             _ => unreachable!("128-bit destination must be xmm or memory"),
@@ -206,17 +260,17 @@ impl Emulator {
 
     fn flags(&self) -> (bool, bool, bool, bool) {
         (
-            self.state.read_flag(Flag::Cf),
-            self.state.read_flag(Flag::Zf),
-            self.state.read_flag(Flag::Sf),
-            self.state.read_flag(Flag::Of),
+            self.read_flag(Flag::Cf),
+            self.read_flag(Flag::Zf),
+            self.read_flag(Flag::Sf),
+            self.read_flag(Flag::Of),
         )
     }
 
     fn set_result_flags(&mut self, w: Width, r: u64) {
-        self.state.write_flag(Flag::Zf, w.truncate(r) == 0);
-        self.state.write_flag(Flag::Sf, w.sign_bit(r));
-        self.state.write_flag(
+        self.write_flag(Flag::Zf, w.truncate(r) == 0);
+        self.write_flag(Flag::Sf, w.sign_bit(r));
+        self.write_flag(
             Flag::Pf,
             (w.truncate(r) as u8).count_ones().is_multiple_of(2),
         );
@@ -226,26 +280,29 @@ impl Emulator {
         let full = u128::from(a) + u128::from(b) + u128::from(carry_in);
         let cf = full > u128::from(w.mask());
         let of = (w.sign_bit(a) == w.sign_bit(b)) && (w.sign_bit(r) != w.sign_bit(a));
-        self.state.write_flag(Flag::Cf, cf);
-        self.state.write_flag(Flag::Of, of);
+        self.write_flag(Flag::Cf, cf);
+        self.write_flag(Flag::Of, of);
         self.set_result_flags(w, r);
     }
 
     fn set_flags_sub(&mut self, w: Width, a: u64, b: u64, borrow_in: u64, r: u64) {
         let cf = u128::from(a) < u128::from(b) + u128::from(borrow_in);
         let of = (w.sign_bit(a) != w.sign_bit(b)) && (w.sign_bit(r) != w.sign_bit(a));
-        self.state.write_flag(Flag::Cf, cf);
-        self.state.write_flag(Flag::Of, of);
+        self.write_flag(Flag::Cf, cf);
+        self.write_flag(Flag::Of, of);
         self.set_result_flags(w, r);
     }
 
     fn set_flags_logic(&mut self, w: Width, r: u64) {
-        self.state.write_flag(Flag::Cf, false);
-        self.state.write_flag(Flag::Of, false);
+        self.write_flag(Flag::Cf, false);
+        self.write_flag(Flag::Of, false);
         self.set_result_flags(w, r);
     }
 
-    pub(crate) fn execute(&mut self, instr: &Instruction) {
+    /// Execute one instruction's semantics (the undefined-read counter is
+    /// the caller's responsibility — see [`Emulator::step`] and the
+    /// batched column loop).
+    fn execute(&mut self, instr: &Instruction) {
         let ops = instr.operands();
         match instr.opcode() {
             Opcode::Nop => {}
@@ -290,22 +347,22 @@ impl Emulator {
             }
             Opcode::Push => {
                 let v = self.read(&ops[0], Width::Q);
-                let rsp = self.state.read_gpr64(Gpr::Rsp).wrapping_sub(8);
-                self.state.set_gpr64(Gpr::Rsp, rsp);
-                if !self.state.memory.store(rsp, v, 8) {
-                    self.faults.sigsegv += 1;
+                let rsp = self.read_gpr64(Gpr::Rsp).wrapping_sub(8);
+                self.set_gpr64(Gpr::Rsp, rsp);
+                if !self.mem_store(rsp, v, 8) {
+                    self.fault_sigsegv();
                 }
             }
             Opcode::Pop => {
-                let rsp = self.state.read_gpr64(Gpr::Rsp);
-                let v = match self.state.memory.load(rsp, 8) {
+                let rsp = self.read_gpr64(Gpr::Rsp);
+                let v = match self.mem_load(rsp, 8) {
                     Some(v) => v,
                     None => {
-                        self.faults.sigsegv += 1;
+                        self.fault_sigsegv();
                         0
                     }
                 };
-                self.state.set_gpr64(Gpr::Rsp, rsp.wrapping_add(8));
+                self.set_gpr64(Gpr::Rsp, rsp.wrapping_add(8));
                 self.write(&ops[0], Width::Q, v);
             }
             Opcode::Cmov(c, w) => {
@@ -325,7 +382,7 @@ impl Emulator {
             Opcode::Alu(op, w) => {
                 let src = self.read(&ops[0], w);
                 let dst = self.read(&ops[1], w);
-                let carry = u64::from(self.state.read_flag(Flag::Cf));
+                let carry = u64::from(self.read_flag(Flag::Cf));
                 let result = match op {
                     AluOp::Add => w.truncate(dst.wrapping_add(src)),
                     AluOp::Adc => w.truncate(dst.wrapping_add(src).wrapping_add(carry)),
@@ -372,7 +429,7 @@ impl Emulator {
                         // inc preserves CF.
                         let of =
                             (w.sign_bit(a) == w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
-                        self.state.write_flag(Flag::Of, of);
+                        self.write_flag(Flag::Of, of);
                         self.set_result_flags(w, r);
                         self.write(&ops[0], w, r);
                     }
@@ -380,7 +437,7 @@ impl Emulator {
                         let r = w.truncate(a.wrapping_sub(1));
                         let of =
                             (w.sign_bit(a) != w.sign_bit(1)) && (w.sign_bit(r) != w.sign_bit(a));
-                        self.state.write_flag(Flag::Of, of);
+                        self.write_flag(Flag::Of, of);
                         self.set_result_flags(w, r);
                         self.write(&ops[0], w, r);
                     }
@@ -393,77 +450,77 @@ impl Emulator {
                     (w.sign_extend(src) as i64 as i128) * (w.sign_extend(dst) as i64 as i128);
                 let r = w.truncate(full as u64);
                 let overflow = full != (w.sign_extend(r) as i64 as i128);
-                self.state.write_flag(Flag::Cf, overflow);
-                self.state.write_flag(Flag::Of, overflow);
+                self.write_flag(Flag::Cf, overflow);
+                self.write_flag(Flag::Of, overflow);
                 self.set_result_flags(w, r);
                 self.write(&ops[1], w, r);
             }
             Opcode::Imul1(w) => {
                 let src = self.read(&ops[0], w);
-                let acc = self.state.read_reg(Gpr::Rax.view(w));
+                let acc = self.read_reg(Gpr::Rax.view(w));
                 let full =
                     (w.sign_extend(src) as i64 as i128) * (w.sign_extend(acc) as i64 as i128);
                 let lo = w.truncate(full as u64);
                 let hi = w.truncate((full >> w.bits()) as u64);
                 let overflow = full != (w.sign_extend(lo) as i64 as i128);
-                self.state.write_reg(Gpr::Rax.view(w), lo);
-                self.state.write_reg(Gpr::Rdx.view(w), hi);
-                self.state.write_flag(Flag::Cf, overflow);
-                self.state.write_flag(Flag::Of, overflow);
+                self.write_reg(Gpr::Rax.view(w), lo);
+                self.write_reg(Gpr::Rdx.view(w), hi);
+                self.write_flag(Flag::Cf, overflow);
+                self.write_flag(Flag::Of, overflow);
                 self.set_result_flags(w, lo);
             }
             Opcode::Mul1(w) => {
                 let src = self.read(&ops[0], w);
-                let acc = self.state.read_reg(Gpr::Rax.view(w));
+                let acc = self.read_reg(Gpr::Rax.view(w));
                 let full = u128::from(src) * u128::from(acc);
                 let lo = w.truncate(full as u64);
                 let hi = w.truncate((full >> w.bits()) as u64);
                 let overflow = hi != 0;
-                self.state.write_reg(Gpr::Rax.view(w), lo);
-                self.state.write_reg(Gpr::Rdx.view(w), hi);
-                self.state.write_flag(Flag::Cf, overflow);
-                self.state.write_flag(Flag::Of, overflow);
+                self.write_reg(Gpr::Rax.view(w), lo);
+                self.write_reg(Gpr::Rdx.view(w), hi);
+                self.write_flag(Flag::Cf, overflow);
+                self.write_flag(Flag::Of, overflow);
                 self.set_result_flags(w, lo);
             }
             Opcode::Div(w) => {
                 let divisor = self.read(&ops[0], w);
-                let lo = u128::from(self.state.read_reg(Gpr::Rax.view(w)));
-                let hi = u128::from(self.state.read_reg(Gpr::Rdx.view(w)));
+                let lo = u128::from(self.read_reg(Gpr::Rax.view(w)));
+                let hi = u128::from(self.read_reg(Gpr::Rdx.view(w)));
                 let dividend = (hi << w.bits()) | lo;
                 if divisor == 0 {
-                    self.faults.sigfpe += 1;
+                    self.fault_sigfpe();
                 } else {
                     let q = dividend / u128::from(divisor);
                     let r = dividend % u128::from(divisor);
                     if q > u128::from(w.mask()) {
-                        self.faults.sigfpe += 1;
+                        self.fault_sigfpe();
                     } else {
-                        self.state.write_reg(Gpr::Rax.view(w), q as u64);
-                        self.state.write_reg(Gpr::Rdx.view(w), r as u64);
+                        self.write_reg(Gpr::Rax.view(w), q as u64);
+                        self.write_reg(Gpr::Rdx.view(w), r as u64);
                         self.set_flags_logic(w, q as u64);
                     }
                 }
             }
             Opcode::Idiv(w) => {
                 let divisor = w.sign_extend(self.read(&ops[0], w)) as i64 as i128;
-                let lo = u128::from(self.state.read_reg(Gpr::Rax.view(w)));
-                let hi = u128::from(self.state.read_reg(Gpr::Rdx.view(w)));
+                let lo = u128::from(self.read_reg(Gpr::Rax.view(w)));
+                let hi = u128::from(self.read_reg(Gpr::Rdx.view(w)));
                 let dividend_bits = (hi << w.bits()) | lo;
                 // Sign-extend the 2w-bit dividend.
                 let shift = 128 - 2 * w.bits();
                 let dividend = ((dividend_bits << shift) as i128) >> shift;
                 if divisor == 0 {
-                    self.faults.sigfpe += 1;
+                    self.fault_sigfpe();
                 } else {
                     let q = dividend.wrapping_div(divisor);
                     let r = dividend.wrapping_rem(divisor);
                     let min = -(1i128 << (w.bits() - 1));
                     let max = (1i128 << (w.bits() - 1)) - 1;
                     if q < min || q > max {
-                        self.faults.sigfpe += 1;
+                        self.fault_sigfpe();
                     } else {
-                        self.state.write_reg(Gpr::Rax.view(w), w.truncate(q as u64));
-                        self.state.write_reg(Gpr::Rdx.view(w), w.truncate(r as u64));
+                        self.write_reg(Gpr::Rax.view(w), w.truncate(q as u64));
+                        self.write_reg(Gpr::Rdx.view(w), w.truncate(r as u64));
                         self.set_flags_logic(w, w.truncate(q as u64));
                     }
                 }
@@ -528,17 +585,17 @@ impl Emulator {
                         (r, w.sign_bit(r))
                     }
                 };
-                self.state.write_flag(Flag::Cf, cf);
+                self.write_flag(Flag::Cf, cf);
                 match op {
                     ShiftOp::Rol | ShiftOp::Ror => {
                         // Rotates only touch CF and OF; model OF as the xor
                         // of the two top bits of the result, deterministically.
                         let of = w.sign_bit(r) ^ (((r >> (bits - 2)) & 1) == 1);
-                        self.state.write_flag(Flag::Of, of);
+                        self.write_flag(Flag::Of, of);
                     }
                     _ => {
                         let of = w.sign_bit(r) ^ cf;
-                        self.state.write_flag(Flag::Of, of);
+                        self.write_flag(Flag::Of, of);
                         self.set_result_flags(w, r);
                     }
                 }
@@ -548,23 +605,23 @@ impl Emulator {
                 BitOp::Popcnt => {
                     let a = self.read(&ops[0], w);
                     let r = u64::from(a.count_ones());
-                    self.state.write_flag(Flag::Cf, false);
-                    self.state.write_flag(Flag::Of, false);
-                    self.state.write_flag(Flag::Sf, false);
-                    self.state.write_flag(Flag::Pf, false);
-                    self.state.write_flag(Flag::Zf, a == 0);
+                    self.write_flag(Flag::Cf, false);
+                    self.write_flag(Flag::Of, false);
+                    self.write_flag(Flag::Sf, false);
+                    self.write_flag(Flag::Pf, false);
+                    self.write_flag(Flag::Zf, a == 0);
                     self.write(&ops[1], w, r);
                 }
                 BitOp::Bsf | BitOp::Bsr => {
                     let a = self.read(&ops[0], w);
                     if a == 0 {
-                        self.state.write_flag(Flag::Zf, true);
+                        self.write_flag(Flag::Zf, true);
                         // Destination is architecturally undefined; we model
                         // it as unchanged (and renormalized for 32-bit).
                         let old = self.read(&ops[1], w);
                         self.write(&ops[1], w, old);
                     } else {
-                        self.state.write_flag(Flag::Zf, false);
+                        self.write_flag(Flag::Zf, false);
                         let r = if op == BitOp::Bsf {
                             u64::from(a.trailing_zeros())
                         } else {
@@ -585,22 +642,22 @@ impl Emulator {
                 }
             },
             Opcode::Cqto => {
-                let rax = self.state.read_gpr64(Gpr::Rax);
+                let rax = self.read_gpr64(Gpr::Rax);
                 let v = if rax >> 63 == 1 { u64::MAX } else { 0 };
-                self.state.set_gpr64(Gpr::Rdx, v);
+                self.set_gpr64(Gpr::Rdx, v);
             }
             Opcode::Cltq => {
-                let eax = self.state.read_reg(Gpr::Rax.view(Width::L));
-                self.state.set_gpr64(Gpr::Rax, Width::L.sign_extend(eax));
+                let eax = self.read_reg(Gpr::Rax.view(Width::L));
+                self.set_gpr64(Gpr::Rax, Width::L.sign_extend(eax));
             }
             Opcode::Cltd => {
-                let eax = self.state.read_reg(Gpr::Rax.view(Width::L));
+                let eax = self.read_reg(Gpr::Rax.view(Width::L));
                 let v = if Width::L.sign_bit(eax) {
                     0xffff_ffff
                 } else {
                     0
                 };
-                self.state.write_reg(Gpr::Rdx.view(Width::L), v);
+                self.write_reg(Gpr::Rdx.view(Width::L), v);
             }
             Opcode::MovdToXmm => {
                 let v = self.read(&ops[0], Width::L);
@@ -663,6 +720,64 @@ impl Emulator {
                 self.write128(&ops[1], [dst[0], src[0]]);
             }
         }
+    }
+}
+
+impl Cpu for Emulator {
+    fn read_reg(&self, r: Reg) -> u64 {
+        self.state.read_reg(r)
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        self.state.write_reg(r, value);
+    }
+
+    fn read_gpr64(&self, g: Gpr) -> u64 {
+        self.state.read_gpr64(g)
+    }
+
+    fn set_gpr64(&mut self, g: Gpr, value: u64) {
+        self.state.set_gpr64(g, value);
+    }
+
+    fn read_xmm(&self, x: Xmm) -> XmmValue {
+        self.state.read_xmm(x)
+    }
+
+    fn write_xmm(&mut self, x: Xmm, value: XmmValue) {
+        self.state.write_xmm(x, value);
+    }
+
+    fn read_flag(&self, f: Flag) -> bool {
+        self.state.read_flag(f)
+    }
+
+    fn write_flag(&mut self, f: Flag, value: bool) {
+        self.state.write_flag(f, value);
+    }
+
+    fn mem_load(&self, addr: u64, len: u64) -> Option<u64> {
+        self.state.memory.load(addr, len)
+    }
+
+    fn mem_store(&mut self, addr: u64, value: u64, len: u64) -> bool {
+        self.state.memory.store(addr, value, len)
+    }
+
+    fn mem_load128(&self, addr: u64) -> Option<XmmValue> {
+        self.state.memory.load128(addr)
+    }
+
+    fn mem_store128(&mut self, addr: u64, value: XmmValue) -> bool {
+        self.state.memory.store128(addr, value)
+    }
+
+    fn fault_sigsegv(&mut self) {
+        self.faults.sigsegv += 1;
+    }
+
+    fn fault_sigfpe(&mut self) {
+        self.faults.sigfpe += 1;
     }
 }
 

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod exec;
 pub mod prepare;
 pub mod state;
 pub mod timing;
 
-pub use exec::{run, run_instrs, Faults, Outcome};
+pub use batch::{BatchState, BatchedProgram, ColumnRef};
+pub use exec::{run, run_instr_refs, run_instrs, Faults, Outcome};
 pub use prepare::PreparedProgram;
 pub use state::{MachineState, Memory, XmmValue};
 pub use timing::{estimate_cycles, TimingModel};

@@ -17,17 +17,17 @@
 //! (and by the randomized property test `prop_prepared` at the workspace
 //! root).
 
-use crate::exec::{Emulator, Outcome};
+use crate::exec::{Cpu, Emulator, Outcome};
 use crate::state::MachineState;
 use stoke_x86::{Flag, Instruction, Program, Reg, Xmm};
 
 /// Per-instruction half-open ranges into the flattened use lists of a
 /// [`PreparedProgram`].
 #[derive(Debug, Clone, Copy, Default)]
-struct UseSpans {
-    gpr: (u32, u32),
-    xmm: (u32, u32),
-    flag: (u32, u32),
+pub(crate) struct UseSpans {
+    pub(crate) gpr: (u32, u32),
+    pub(crate) xmm: (u32, u32),
+    pub(crate) flag: (u32, u32),
 }
 
 /// An instruction sequence decoded once into a dense, pre-resolved form
@@ -58,11 +58,14 @@ struct UseSpans {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PreparedProgram<'a> {
-    instrs: Vec<&'a Instruction>,
-    gpr_uses: Vec<Reg>,
-    xmm_uses: Vec<Xmm>,
-    flag_uses: Vec<Flag>,
-    spans: Vec<UseSpans>,
+    // Crate-visible so the batched backend (`crate::batch`) can reuse the
+    // decoded form — instruction list, flattened use lists and spans —
+    // without re-deriving it per proposal.
+    pub(crate) instrs: Vec<&'a Instruction>,
+    pub(crate) gpr_uses: Vec<Reg>,
+    pub(crate) xmm_uses: Vec<Xmm>,
+    pub(crate) flag_uses: Vec<Flag>,
+    pub(crate) spans: Vec<UseSpans>,
     latency: u64,
 }
 
@@ -82,9 +85,9 @@ impl<'a> PreparedProgram<'a> {
         };
         for instr in &prepared.instrs {
             let gpr_start = prepared.gpr_uses.len() as u32;
-            prepared.gpr_uses.extend(instr.gpr_uses());
+            instr.gpr_uses_into(&mut prepared.gpr_uses);
             let xmm_start = prepared.xmm_uses.len() as u32;
-            prepared.xmm_uses.extend(instr.xmm_uses());
+            instr.xmm_uses_into(&mut prepared.xmm_uses);
             let flag_start = prepared.flag_uses.len() as u32;
             prepared.flag_uses.extend(instr.flag_uses());
             prepared.spans.push(UseSpans {

@@ -217,39 +217,49 @@ impl Instruction {
     /// implicit uses.
     pub fn gpr_uses(&self) -> Vec<Reg> {
         let mut uses = Vec::new();
+        self.gpr_uses_into(&mut uses);
+        uses
+    }
+
+    /// Append this instruction's GPR uses to `out` (same elements, same
+    /// order as [`gpr_uses`](Instruction::gpr_uses)) without allocating —
+    /// the evaluation backends prepare whole programs into one flattened
+    /// use list per proposal, where a fresh `Vec` per instruction would
+    /// dominate the prepare step.
+    pub fn gpr_uses_into(&self, out: &mut Vec<Reg>) {
+        let start = out.len();
         let arity = self.operands.len();
         for (slot, opnd) in self.operands.iter().enumerate() {
             let is_dst_slot = self.opcode.writes_dst() && slot == arity - 1;
             match opnd {
                 Operand::Reg(r) => {
                     if !is_dst_slot || self.opcode.dst_is_also_src() {
-                        uses.push(*r);
+                        out.push(*r);
                     } else if r.width() == Width::B || r.width() == Width::W {
                         // Narrow destination writes merge into the parent
                         // register, so the old value is also read.
-                        uses.push(r.parent().full());
+                        out.push(r.parent().full());
                     }
                 }
                 Operand::Mem(m) => {
-                    uses.extend(m.regs().map(Gpr::full));
+                    out.extend(m.regs().map(Gpr::full));
                 }
                 Operand::Xmm(_) | Operand::Imm(_) => {}
             }
         }
         for g in self.opcode.implicit_uses() {
-            uses.push(g.view(self.opcode.width().unwrap_or(Width::Q)));
+            out.push(g.view(self.opcode.width().unwrap_or(Width::Q)));
         }
         // xchg reads both of its operands.
         if matches!(self.opcode, Opcode::Xchg(_)) {
             for opnd in &self.operands {
                 if let Operand::Reg(r) = opnd {
-                    if !uses.contains(r) {
-                        uses.push(*r);
+                    if !out[start..].contains(r) {
+                        out.push(*r);
                     }
                 }
             }
         }
-        uses
     }
 
     /// General purpose registers written by this instruction (as views).
@@ -280,16 +290,22 @@ impl Instruction {
     /// SSE registers read by this instruction.
     pub fn xmm_uses(&self) -> Vec<Xmm> {
         let mut uses = Vec::new();
+        self.xmm_uses_into(&mut uses);
+        uses
+    }
+
+    /// Append this instruction's SSE uses to `out` without allocating (see
+    /// [`gpr_uses_into`](Instruction::gpr_uses_into)).
+    pub fn xmm_uses_into(&self, out: &mut Vec<Xmm>) {
         let arity = self.operands.len();
         for (slot, opnd) in self.operands.iter().enumerate() {
             if let Operand::Xmm(x) = opnd {
                 let is_dst_slot = self.opcode.writes_dst() && slot == arity - 1;
                 if !is_dst_slot || self.opcode.dst_is_also_src() {
-                    uses.push(*x);
+                    out.push(*x);
                 }
             }
         }
-        uses
     }
 
     /// SSE registers written by this instruction.

@@ -1,0 +1,82 @@
+//! Fixed-seed snapshot tests for backend bit-identity: the full search
+//! pipeline (synthesis → optimization → validation → re-rank) run with
+//! `BackendSpec::Batched` must reproduce the `Prepared` backend's results
+//! — rewrite, latencies, timing-model cycles, verification status, and
+//! every deterministic statistic — bit-for-bit. The `Prepared` arm is
+//! byte-for-byte the pipeline of the previous release, so agreement here
+//! pins the batched default to the historical fixed-seed snapshots.
+
+use stoke_suite::stoke::{BackendSpec, Config, InputSpec, Session, StokeResult, TargetSpec};
+use stoke_suite::workloads::{hackers_delight, Kernel};
+use stoke_suite::x86::Gpr;
+
+fn spec_for(kernel: &Kernel) -> TargetSpec {
+    let inputs = [Gpr::Rdi, Gpr::Rsi]
+        .iter()
+        .take(kernel.ir.num_params)
+        .map(|g| InputSpec::value32(*g))
+        .collect();
+    TargetSpec::new(kernel.target_o0(), inputs, kernel.live_out.clone())
+}
+
+fn run_with(backend: BackendSpec, spec: &TargetSpec) -> StokeResult {
+    let config = Config::builder()
+        .ell(16)
+        .num_testcases(8)
+        .synthesis_iterations(2_000)
+        .optimization_iterations(10_000)
+        .threads(1)
+        .backend(backend)
+        .build()
+        .expect("valid configuration");
+    Session::new(config).run(spec).expect("search completes")
+}
+
+/// Everything deterministic about a result (wall-clock durations are
+/// excluded; they are the only nondeterministic fields).
+fn snapshot(r: &StokeResult) -> String {
+    format!(
+        "rewrite={:?} verification={:?} target_latency={} rewrite_latency={} \
+         target_cycles={} rewrite_cycles={} synthesis_proposals={} \
+         optimization_proposals={} testcases_run={} validations={} \
+         counterexamples={} synthesis_succeeded={}",
+        r.rewrite.to_string(),
+        r.verification,
+        r.target_latency,
+        r.rewrite_latency,
+        r.target_cycles,
+        r.rewrite_cycles,
+        r.stats.synthesis_proposals,
+        r.stats.optimization_proposals,
+        r.stats.testcases_run,
+        r.stats.validations,
+        r.stats.counterexamples,
+        r.stats.synthesis_succeeded,
+    )
+}
+
+#[test]
+fn batched_backend_reproduces_prepared_results_on_p01() {
+    let spec = spec_for(&hackers_delight::p01());
+    let prepared = run_with(BackendSpec::Prepared, &spec);
+    let batched = run_with(BackendSpec::Batched, &spec);
+    assert_eq!(snapshot(&batched), snapshot(&prepared));
+}
+
+#[test]
+fn batched_backend_reproduces_prepared_results_on_p14() {
+    let spec = spec_for(&hackers_delight::p14());
+    let prepared = run_with(BackendSpec::Prepared, &spec);
+    let batched = run_with(BackendSpec::Batched, &spec);
+    assert_eq!(snapshot(&batched), snapshot(&prepared));
+}
+
+#[test]
+fn interp_backend_agrees_too() {
+    // The interpreter is the reference semantics; a cheap p01 run pins all
+    // three backends to one another.
+    let spec = spec_for(&hackers_delight::p01());
+    let interp = run_with(BackendSpec::Interp, &spec);
+    let batched = run_with(BackendSpec::Batched, &spec);
+    assert_eq!(snapshot(&batched), snapshot(&interp));
+}
