@@ -105,6 +105,20 @@ impl Budget {
         self.cancel.clone()
     }
 
+    /// A copy of this budget's limits with a *fresh* cancellation token.
+    ///
+    /// `Clone` shares the token (cancelling one clone cancels them all);
+    /// `detached` is for using a budget as a template — e.g. a service
+    /// stamping out per-job budgets that must be cancellable
+    /// independently.
+    pub fn detached(&self) -> Budget {
+        Budget {
+            max_proposals: self.max_proposals,
+            wall_clock: self.wall_clock,
+            cancel: CancelToken::new(),
+        }
+    }
+
     /// Cancel any run governed by this budget.
     pub fn cancel(&self) {
         self.cancel.cancel();
@@ -123,6 +137,7 @@ pub struct BudgetClock {
     used_proposals: AtomicU64,
     cancel: CancelToken,
     tripped: AtomicBool,
+    parent: Option<Arc<BudgetClock>>,
 }
 
 impl BudgetClock {
@@ -135,6 +150,18 @@ impl BudgetClock {
             used_proposals: AtomicU64::new(0),
             cancel: budget.cancel.clone(),
             tripped: AtomicBool::new(false),
+            parent: None,
+        }
+    }
+
+    /// Start a clock on `budget` nested under `parent`: every proposal is
+    /// charged to *both* clocks, and the run stops when either is
+    /// exhausted. This is how a service composes a per-job budget with a
+    /// batch-wide one.
+    pub fn start_with_parent(budget: &Budget, parent: Arc<BudgetClock>) -> BudgetClock {
+        BudgetClock {
+            parent: Some(parent),
+            ..BudgetClock::start(budget)
         }
     }
 
@@ -157,6 +184,12 @@ impl BudgetClock {
                 return false;
             }
         }
+        if let Some(parent) = &self.parent {
+            if !parent.admit_proposal() {
+                self.tripped.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
         true
     }
 
@@ -171,6 +204,61 @@ impl BudgetClock {
         self.tripped.load(Ordering::Relaxed)
             || self.cancel.is_cancelled()
             || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_ref().is_some_and(|p| p.exhausted())
+    }
+}
+
+/// Per-run options beyond the target itself, consumed by
+/// [`Session::run_request`]: an existing test suite to reuse, a warm-start
+/// program to seed the synthesis chains, an external [`BudgetClock`]
+/// (e.g. a batch-wide clock shared across jobs), and a target index for
+/// tagging observer events.
+///
+/// ```
+/// use stoke::RunRequest;
+/// let req = RunRequest::new().for_target(3);
+/// # let _ = req;
+/// ```
+#[derive(Default)]
+pub struct RunRequest<'a> {
+    suite: Option<TestSuite>,
+    warm_start: Option<&'a Program>,
+    clock: Option<&'a BudgetClock>,
+    target: usize,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A request with no options: equivalent to [`Session::run`].
+    pub fn new() -> RunRequest<'a> {
+        RunRequest::default()
+    }
+
+    /// Reuse an existing test suite (the `Testcases` phase is skipped).
+    pub fn with_suite(mut self, suite: TestSuite) -> RunRequest<'a> {
+        self.suite = Some(suite);
+        self
+    }
+
+    /// Seed every synthesis chain from `program` instead of a random
+    /// starting point (§4.4's "code sequence believed to be similar to the
+    /// target" — e.g. a cached rewrite of a near-identical submission).
+    /// The chains still diverge through their per-chain seeds.
+    pub fn warm_start(mut self, program: &'a Program) -> RunRequest<'a> {
+        self.warm_start = Some(program);
+        self
+    }
+
+    /// Charge the run to an already-running clock instead of starting a
+    /// fresh one from the session's budget.
+    pub fn under_clock(mut self, clock: &'a BudgetClock) -> RunRequest<'a> {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Tag observer events with a target/job index (`0` by default).
+    pub fn for_target(mut self, target: usize) -> RunRequest<'a> {
+        self.target = target;
+        self
     }
 }
 
@@ -366,8 +454,7 @@ impl Session {
     /// - [`StokeError::BudgetExhausted`] if the budget ran out first, with
     ///   the best partial result assembled from the work done so far.
     pub fn run(&self, spec: &TargetSpec) -> Result<StokeResult, StokeError> {
-        let clock = BudgetClock::start(&self.budget);
-        self.run_target(spec, None, &clock, 0)
+        self.run_request(spec, RunRequest::new())
     }
 
     /// Run the full pipeline on one target reusing an existing test suite
@@ -380,8 +467,40 @@ impl Session {
         spec: &TargetSpec,
         suite: TestSuite,
     ) -> Result<StokeResult, StokeError> {
-        let clock = BudgetClock::start(&self.budget);
-        self.run_target(spec, Some(suite), &clock, 0)
+        self.run_request(spec, RunRequest::new().with_suite(suite))
+    }
+
+    /// Run the full pipeline on one target with explicit per-run options:
+    /// a reused test suite, a warm-start program seeding the synthesis
+    /// chains, an external budget clock, and an observer target index.
+    /// See [`RunRequest`].
+    ///
+    /// # Errors
+    /// As for [`Session::run`].
+    pub fn run_request(
+        &self,
+        spec: &TargetSpec,
+        request: RunRequest<'_>,
+    ) -> Result<StokeResult, StokeError> {
+        match request.clock {
+            Some(clock) => self.run_target(
+                spec,
+                request.suite,
+                request.warm_start,
+                clock,
+                request.target,
+            ),
+            None => {
+                let clock = BudgetClock::start(&self.budget);
+                self.run_target(
+                    spec,
+                    request.suite,
+                    request.warm_start,
+                    &clock,
+                    request.target,
+                )
+            }
+        }
     }
 
     /// Run the full pipeline on every target, scheduling them across the
@@ -400,7 +519,7 @@ impl Session {
             return specs
                 .iter()
                 .enumerate()
-                .map(|(i, spec)| self.run_target(spec, None, &clock, i))
+                .map(|(i, spec)| self.run_target(spec, None, None, &clock, i))
                 .collect();
         }
         let slots: Vec<Mutex<Option<Result<StokeResult, StokeError>>>> =
@@ -411,7 +530,7 @@ impl Session {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let result = self.run_target(spec, None, &clock, i);
+                    let result = self.run_target(spec, None, None, &clock, i);
                     *slots[i].lock().expect("batch result lock") = Some(result);
                 });
             }
@@ -431,9 +550,11 @@ impl Session {
         &self,
         spec: &TargetSpec,
         suite: Option<TestSuite>,
+        warm_start: Option<&Program>,
         clock: &BudgetClock,
         target: usize,
     ) -> Result<StokeResult, StokeError> {
+        let t0 = Instant::now();
         self.config.validate()?;
         if spec.program.is_empty() {
             return Err(StokeError::EmptyTarget);
@@ -454,9 +575,19 @@ impl Session {
             verifier: self.verifier(),
             clock,
             target,
+            warm_start,
             progress_every: self.progress_every(),
         };
-        run.pipeline()
+        let mut out = run.pipeline();
+        // Stamp the per-target wall clock on whichever way the run ended,
+        // so batch callers see per-job cost and not just phase aggregates.
+        let elapsed = t0.elapsed();
+        match &mut out {
+            Ok(result) => result.stats.total_time = elapsed,
+            Err(StokeError::BudgetExhausted { partial }) => partial.stats.total_time = elapsed,
+            Err(_) => {}
+        }
+        out
     }
 }
 
@@ -470,6 +601,7 @@ struct TargetRun<'a> {
     verifier: &'a dyn Verifier,
     clock: &'a BudgetClock,
     target: usize,
+    warm_start: Option<&'a Program>,
     progress_every: u64,
 }
 
@@ -490,11 +622,15 @@ impl TargetRun<'_> {
     }
 
     /// Run one synthesis chain (§4.4: random starting point, correctness
-    /// term only).
+    /// term only — unless the run carries a warm start, in which case every
+    /// chain begins from that program and diverges through its seed).
     fn synthesis_chain(&self, seed: u64, iterations: u64, chain_idx: usize) -> ChainResult {
         let mut cost_fn = self.make_cost_fn();
         let mut chain = Chain::new(&mut cost_fn, seed, false);
-        let start = chain.proposer_mut().random_rewrite();
+        let start = match self.warm_start {
+            Some(program) => Rewrite::from_program(program, self.config.ell),
+            None => chain.proposer_mut().random_rewrite(),
+        };
         chain.run_controlled(
             start,
             iterations,
@@ -961,6 +1097,76 @@ mod tests {
                 assert!(matches!(p.phase, Phase::Synthesis | Phase::Optimization));
                 assert!(p.proposals <= p.iterations);
             }
+        }
+    }
+
+    #[test]
+    fn warm_start_reaches_synthesis_success_in_fewer_proposals() {
+        // Cold search on the clumsy target vs the same search seeded with
+        // the known-good two-instruction rewrite: the warm start is already
+        // at eq' == 0, so synthesis ends orders of magnitude earlier.
+        let spec = clumsy_add();
+        let cold = Session::new(quick_config()).run(&spec).unwrap();
+        assert!(cold.stats.synthesis_proposals > 0);
+        let warm_seed: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let warm = Session::new(quick_config())
+            .run_request(&spec, RunRequest::new().warm_start(&warm_seed))
+            .unwrap();
+        assert!(warm.stats.synthesis_succeeded);
+        assert!(
+            warm.stats.synthesis_proposals < cold.stats.synthesis_proposals,
+            "warm start took {} synthesis proposals, cold start {}",
+            warm.stats.synthesis_proposals,
+            cold.stats.synthesis_proposals
+        );
+        // The returned rewrite is still correct on fresh test cases.
+        let fresh = generate_testcases(&spec, 16, 424242);
+        let mut cf = CostFn::new(quick_config(), fresh, 0);
+        let instrs: Vec<_> = warm.rewrite.iter().cloned().collect();
+        assert_eq!(cf.eq_prime(&instrs), 0);
+    }
+
+    #[test]
+    fn nested_clock_charges_parent_and_stops_on_parent_exhaustion() {
+        let parent = Arc::new(BudgetClock::start(
+            &Budget::unlimited().with_max_proposals(10),
+        ));
+        let child = BudgetClock::start_with_parent(&Budget::unlimited(), parent.clone());
+        let mut admitted = 0;
+        while child.admit_proposal() {
+            admitted += 1;
+            assert!(admitted <= 11, "parent cap never tripped the child");
+        }
+        assert_eq!(admitted, 10);
+        assert!(child.exhausted());
+        assert!(parent.exhausted());
+        // A sibling under the same parent is exhausted from the start.
+        let sibling = BudgetClock::start_with_parent(&Budget::unlimited(), parent);
+        assert!(sibling.exhausted());
+        assert!(!sibling.admit_proposal());
+    }
+
+    #[test]
+    fn run_batch_exposes_per_target_wall_clock_and_proposals() {
+        let config = Config {
+            threads: 2,
+            synthesis_iterations: 1_000,
+            optimization_iterations: 5_000,
+            ..quick_config()
+        };
+        let results = Session::new(config).run_batch(&[clumsy_add(), clumsy_add()]);
+        for result in results {
+            let stats = &result.expect("batch target succeeds").stats;
+            assert!(stats.total_time > Duration::ZERO);
+            assert!(stats.total_proposals() > 0);
+            assert_eq!(
+                stats.total_proposals(),
+                stats.synthesis_proposals + stats.optimization_proposals
+            );
+            // The per-target clock covers at least that target's own phase
+            // time (phase timers of other targets may overlap; this one's
+            // are contained in its own wall clock).
+            assert!(stats.total_time >= stats.synthesis_time + stats.optimization_time);
         }
     }
 

@@ -69,7 +69,7 @@ pub mod verifier;
 
 pub use config::{BackendSpec, Config, ConfigBuilder, EqMetric};
 pub use cost::{CaseCost, CostFn, EvalScratch, EvalStats};
-pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, Session};
+pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, RunRequest, Session};
 pub use error::{ConfigError, StokeError};
 pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
 pub use model::{

@@ -4,7 +4,7 @@
 //! progress, candidates entering the re-rank stage, and validation
 //! verdicts — without blocking the search threads.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use stoke_x86::Program;
 
 /// A stage of the Figure 9 pipeline, in execution order.
@@ -124,9 +124,16 @@ pub enum SearchEvent {
 
 /// An observer that records every event in order, for tests and for the
 /// `experiments` binary's per-phase progress reporting.
-#[derive(Debug, Default)]
+///
+/// The event log lives behind an internal `Arc`, so the collector is
+/// `Clone` and cheap to hand to each of a service's worker threads —
+/// every clone appends to (and reads) the same log. Events are recorded
+/// in lock-acquisition order, which for a single job matches callback
+/// order; concurrent jobs interleave, and readers separate them by the
+/// `target` index carried on every event.
+#[derive(Debug, Clone, Default)]
 pub struct CollectingObserver {
-    events: Mutex<Vec<SearchEvent>>,
+    events: Arc<Mutex<Vec<SearchEvent>>>,
 }
 
 impl CollectingObserver {
@@ -198,6 +205,72 @@ mod tests {
         assert_eq!(obs.events().len(), 3);
         assert_eq!(obs.drain().len(), 3);
         assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_event_log() {
+        let obs = CollectingObserver::new();
+        let clone = obs.clone();
+        obs.on_phase_start(0, Phase::Synthesis);
+        clone.on_phase_start(1, Phase::Synthesis);
+        assert_eq!(obs.events().len(), 2);
+        assert_eq!(clone.events().len(), 2);
+        clone.drain();
+        assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_interleave_but_stay_ordered_per_target() {
+        // Two "jobs" hammer one shared collector from separate threads;
+        // the global log may interleave arbitrarily, but filtering by
+        // target index must recover each job's callback order exactly.
+        let obs = CollectingObserver::new();
+        std::thread::scope(|scope| {
+            for target in 0..2usize {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        obs.on_phase_start(target, Phase::Synthesis);
+                        obs.on_chain_progress(&ChainProgress {
+                            target,
+                            phase: Phase::Synthesis,
+                            chain: 0,
+                            proposals: i,
+                            iterations: 100,
+                            current_cost: 0.0,
+                            correctness: 0.0,
+                            performance: 0.0,
+                            best_cost: 0.0,
+                        });
+                    }
+                });
+            }
+        });
+        let events = obs.events();
+        assert_eq!(events.len(), 400);
+        for target in 0..2usize {
+            let mut expect_progress = false;
+            let mut next_proposals = 0u64;
+            let mut seen = 0;
+            for event in &events {
+                match event {
+                    SearchEvent::PhaseStart { target: t, .. } if *t == target => {
+                        assert!(!expect_progress, "job {target} events out of order");
+                        expect_progress = true;
+                        seen += 1;
+                    }
+                    SearchEvent::Progress(p) if p.target == target => {
+                        assert!(expect_progress, "job {target} events out of order");
+                        assert_eq!(p.proposals, next_proposals);
+                        expect_progress = false;
+                        next_proposals += 1;
+                        seen += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(seen, 200);
+        }
     }
 
     #[test]

@@ -45,6 +45,22 @@ pub struct SearchStats {
     pub counterexamples: u64,
     /// Whether any synthesis chain reached a zero-cost rewrite.
     pub synthesis_succeeded: bool,
+    /// End-to-end wall-clock time of this target's trip through the
+    /// pipeline (test-case generation through re-ranking), stamped by the
+    /// driver on both complete and budget-exhausted results. Unlike
+    /// [`synthesis_time`](SearchStats::synthesis_time) /
+    /// [`optimization_time`](SearchStats::optimization_time) this is
+    /// per-target even under [`Session::run_batch`](crate::Session::run_batch),
+    /// where the phase timers of concurrently scheduled targets overlap.
+    pub total_time: Duration,
+}
+
+impl SearchStats {
+    /// Proposals evaluated across both MCMC phases — the per-target search
+    /// effort a service can bill a job for.
+    pub fn total_proposals(&self) -> u64 {
+        self.synthesis_proposals + self.optimization_proposals
+    }
 }
 
 /// The result of a STOKE run on one target.

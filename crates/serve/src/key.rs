@@ -1,0 +1,285 @@
+//! Canonical cache keys for submitted targets.
+//!
+//! A [`CacheKey`] is a line-oriented canonical serialization of a
+//! [`TargetSpec`] under a fixed evaluation pipeline: the program is
+//! immediate-normalized and alpha-renamed into canonical register order
+//! (see [`stoke_x86::canon`]), the interface (inputs and live-outs) is
+//! expressed in canonical registers, and the whole text is prefixed with a
+//! fingerprint of the pipeline configuration — opcode pool, cost model,
+//! verifier, backend and correctness weights — so a rewrite proven under
+//! one pipeline is never served to a submission that demands different
+//! guarantees.
+//!
+//! Lookups compare full key texts, so two keys collide only if their
+//! canonical serializations are byte-identical — semantically different
+//! programs with distinct canonical forms *cannot* alias.
+
+use std::collections::BTreeSet;
+use stoke::{BackendSpec, Config, InputKind, TargetSpec};
+use stoke_x86::canon::{canonicalize, pinned_registers, Renaming};
+use stoke_x86::{Gpr, Program};
+
+/// 64-bit FNV-1a over a byte string: tiny, dependency-free, and stable
+/// across runs — exactly what a persisted cache fingerprint needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A fingerprint of everything about the evaluation pipeline that affects
+/// which rewrites are acceptable: the opcode/immediate/register pools, the
+/// cost model, the verifier, the execution backend, the equality metric
+/// and its weights, and the test-suite size. Two sessions with the same
+/// fingerprint make interchangeable correctness claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineFingerprint(u64);
+
+impl PipelineFingerprint {
+    /// Fingerprint a configuration plus the name of the verifier in use
+    /// (`"cascade"` for the session default).
+    pub fn new(config: &Config, verifier_name: &str) -> PipelineFingerprint {
+        let backend = match config.backend {
+            BackendSpec::Interp => "interp",
+            BackendSpec::Prepared => "prepared",
+            BackendSpec::Batched => "batched",
+        };
+        let mut text = String::new();
+        text.push_str("backend=");
+        text.push_str(backend);
+        text.push_str(";cost=");
+        text.push_str(config.cost_model.synthesis_model().name());
+        text.push('/');
+        text.push_str(config.cost_model.optimization_model().name());
+        text.push_str(";verifier=");
+        text.push_str(verifier_name);
+        text.push_str(&format!(
+            ";eq={:?};w={},{},{},{};tests={}",
+            config.eq_metric, config.wsf, config.wfp, config.wur, config.wm, config.num_testcases
+        ));
+        text.push_str(";ops=");
+        for op in &config.opcode_pool {
+            text.push_str(&op.name());
+            text.push(',');
+        }
+        text.push_str(";imms=");
+        for imm in &config.immediate_pool {
+            text.push_str(&format!("{imm},"));
+        }
+        text.push_str(";regs=");
+        for reg in &config.register_pool {
+            text.push_str(reg.name64());
+            text.push(',');
+        }
+        PipelineFingerprint(fnv1a64(text.as_bytes()))
+    }
+
+    /// The raw 64-bit fingerprint value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The canonical cache key of one submission. See the module docs.
+#[derive(Debug, Clone)]
+pub struct CacheKey {
+    text: String,
+    iface: String,
+    prog_lines: Vec<String>,
+    renaming: Renaming,
+    pinned: [bool; 16],
+}
+
+impl CacheKey {
+    /// Canonicalize a submission under `fingerprint`.
+    pub fn for_spec(spec: &TargetSpec, fingerprint: PipelineFingerprint) -> CacheKey {
+        let tail = interface_tail(spec);
+        let (canon, renaming) = canonicalize(&spec.program, &tail);
+        let pinned = pinned_registers(&spec.program);
+
+        let mut iface = format!("pipeline {:016x}\n", fingerprint.value());
+        // Input lines in canonical register order, so permuting the input
+        // list (or renaming registers) leaves the serialization unchanged.
+        let mut inputs: Vec<(usize, String)> = spec
+            .inputs
+            .iter()
+            .map(|input| {
+                let canon_reg = renaming.apply_gpr(input.reg);
+                let line = match input.kind {
+                    InputKind::Value { mask } => {
+                        format!("in {} val {mask:016x}", canon_reg.name64())
+                    }
+                    InputKind::Pointer { len, elem_mask } => {
+                        format!("in {} ptr {len} {elem_mask:016x}", canon_reg.name64())
+                    }
+                };
+                (canon_reg.index(), line)
+            })
+            .collect();
+        inputs.sort();
+        for (_, line) in inputs {
+            iface.push_str(&line);
+            iface.push('\n');
+        }
+        let out_gprs: BTreeSet<usize> = spec
+            .live_out
+            .gprs
+            .iter()
+            .map(|g| renaming.apply_gpr(*g).index())
+            .collect();
+        for idx in out_gprs {
+            iface.push_str(&format!("out {}\n", Gpr::from_index(idx).name64()));
+        }
+        for xmm in &spec.live_out.xmms {
+            iface.push_str(&format!("outx xmm{}\n", xmm.index()));
+        }
+        for flag in &spec.live_out.flags {
+            iface.push_str(&format!("outf {flag}\n"));
+        }
+
+        let prog_lines: Vec<String> = canon.iter().map(|i| i.to_string()).collect();
+        let mut text = String::from("stoke-serve key v1\n");
+        text.push_str(&iface);
+        text.push_str("prog\n");
+        for line in &prog_lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        CacheKey {
+            text,
+            iface,
+            prog_lines,
+            renaming,
+            pinned,
+        }
+    }
+
+    /// The full canonical serialization — the map key. Byte-equal texts
+    /// mean the same search problem under the same pipeline.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The pipeline + interface section (everything but the program
+    /// body). Near-miss warm starts require byte-equal interfaces.
+    pub fn interface(&self) -> &str {
+        &self.iface
+    }
+
+    /// The canonical program, one line per instruction — the unit of the
+    /// near-miss edit distance.
+    pub fn program_lines(&self) -> &[String] {
+        &self.prog_lines
+    }
+
+    /// The renaming from submitter registers to canonical registers.
+    /// Apply its [`inverse`](Renaming::inverse) to map cached canonical
+    /// rewrites back into the submitter's register space.
+    pub fn renaming(&self) -> &Renaming {
+        &self.renaming
+    }
+
+    /// Whether `rewrite` (in submitter register space) can be stored
+    /// canonically under this key: every register it uses *implicitly*
+    /// must be pinned by the target too, otherwise a different submitter's
+    /// inverse renaming could move an implicit register and corrupt the
+    /// rewrite's semantics.
+    pub fn admits_rewrite(&self, rewrite: &Program) -> bool {
+        let needed = pinned_registers(rewrite);
+        needed
+            .iter()
+            .enumerate()
+            .all(|(i, pinned)| !pinned || self.pinned[i])
+    }
+
+    /// `rewrite` (submitter space) expressed in canonical registers.
+    pub fn canonical_rewrite(&self, rewrite: &Program) -> Program {
+        self.renaming.apply_program(rewrite)
+    }
+}
+
+/// The interface registers a canonical renaming must order even when they
+/// never appear in the program body: input registers first (sorted by
+/// their serialized kind and live-out membership, which is exactly the
+/// information the key records about them, so any tie is a true symmetry),
+/// then remaining live-out registers in encoding order.
+fn interface_tail(spec: &TargetSpec) -> Vec<Gpr> {
+    let mut inputs: Vec<(String, bool, usize, Gpr)> = spec
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(pos, input)| {
+            let descr = match input.kind {
+                InputKind::Value { mask } => format!("val {mask:016x}"),
+                InputKind::Pointer { len, elem_mask } => format!("ptr {len} {elem_mask:016x}"),
+            };
+            (
+                descr,
+                spec.live_out.gprs.contains(&input.reg),
+                pos,
+                input.reg,
+            )
+        })
+        .collect();
+    // Position is the last tie-breaker: ties on (kind, live-out) are fully
+    // symmetric, so keeping submission order there cannot affect the key.
+    inputs.sort();
+    let mut tail: Vec<Gpr> = inputs.into_iter().map(|(_, _, _, g)| g).collect();
+    for g in &spec.live_out.gprs {
+        if !tail.contains(g) {
+            tail.push(*g);
+        }
+    }
+    tail
+}
+
+/// Levenshtein distance between two canonical programs, measured in
+/// whole-instruction insertions/deletions/substitutions, with an early
+/// exit once the distance provably exceeds `max`. Returns `None` when the
+/// programs are farther apart than `max`.
+pub fn edit_distance_within(a: &[String], b: &[String], max: usize) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > max {
+        return None;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0usize; b.len() + 1];
+    for (i, ai) in a.iter().enumerate() {
+        row[0] = i + 1;
+        let mut row_min = row[0];
+        for (j, bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            row[j + 1] = sub.min(prev[j + 1] + 1).min(row[j] + 1);
+            row_min = row_min.min(row[j + 1]);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    (prev[b.len()] <= max).then_some(prev[b.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn edit_distance_counts_line_edits() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["x".to_string(), "z".to_string(), "w".to_string()];
+        assert_eq!(edit_distance_within(&a, &b, 4), Some(2));
+        assert_eq!(edit_distance_within(&a, &a, 0), Some(0));
+        assert_eq!(edit_distance_within(&a, &b, 1), None);
+    }
+}

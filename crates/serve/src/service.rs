@@ -1,0 +1,877 @@
+//! The long-running service: a priority job queue over worker threads,
+//! each job a full [`Session`] pipeline run with its own budget and
+//! cancellation, short-circuited through the [`RewriteCache`] when a
+//! canonically-equal target was already solved and warm-started when a
+//! near-miss was.
+
+use crate::cache::{CacheConfig, CacheStats, RewriteCache};
+use crate::key::{CacheKey, PipelineFingerprint};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use stoke::{
+    Budget, BudgetClock, ChainProgress, Config, Phase, RunRequest, SearchObserver, SearchStats,
+    Session, StokeError, StokeResult, TargetSpec, ValidationVerdict, Verifier,
+};
+use stoke_emu::TimingModel;
+use stoke_x86::Program;
+
+/// Identifier of a submitted job, unique within one [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The raw id (also used as the observer target index of the job).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Scheduling priority; higher priorities run first, FIFO within a
+/// priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Behind every normal job.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Ahead of everything else.
+    High,
+}
+
+/// Per-submission options for [`Service::submit_with`].
+#[derive(Debug, Default)]
+pub struct SubmitOptions {
+    /// Scheduling priority (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Per-job budget. `None` stamps a fresh copy of the service's
+    /// [`ServeConfig::job_budget`] template; `Some` uses the given budget
+    /// as-is, sharing its [`CancelToken`](stoke::CancelToken) with the
+    /// caller.
+    pub budget: Option<Budget>,
+}
+
+/// Where a job's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// A full search ran with no cache assistance.
+    ColdSearch,
+    /// A canonically-equal target was cached: the rewrite was served
+    /// without launching a search (zero proposals).
+    CacheHit,
+    /// A near-miss cache entry seeded the synthesis chains.
+    WarmStart {
+        /// Canonical edit distance to the entry that seeded the search.
+        distance: usize,
+    },
+}
+
+/// Lifecycle state of a job, from [`Service::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished; [`Service::wait`] returns its outcome.
+    Done,
+    /// Cancelled while still queued; it never ran.
+    Cancelled,
+}
+
+/// The completed outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job this outcome belongs to.
+    pub job: JobId,
+    /// Where the result came from.
+    pub disposition: Disposition,
+    /// The pipeline result — exactly what [`Session::run`] would return,
+    /// including [`StokeError::BudgetExhausted`] with a partial result
+    /// when the job's (or the batch's) budget ran out or the job was
+    /// cancelled mid-run.
+    pub result: Result<StokeResult, StokeError>,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_time: Duration,
+    /// Time from pickup to completion (≈ `stats.total_time` for cold
+    /// searches, ~zero for cache hits).
+    pub run_time: Duration,
+}
+
+/// Typed progress events streamed from the service, consumable from any
+/// thread via [`Service::subscribe`]. `Phase`/`Progress`/`Candidate`/
+/// `Validation` relay the [`SearchObserver`] callbacks of the underlying
+/// session run, tagged with the job id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job entered the queue.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// Its scheduling priority.
+        priority: Priority,
+    },
+    /// A worker picked the job up.
+    Started {
+        /// The job.
+        job: JobId,
+    },
+    /// A canonically-equal cached rewrite was served; no search ran.
+    CacheHit {
+        /// The job.
+        job: JobId,
+    },
+    /// A near-miss cache entry is seeding the synthesis chains.
+    WarmStart {
+        /// The job.
+        job: JobId,
+        /// Canonical edit distance to the seeding entry.
+        distance: usize,
+    },
+    /// A pipeline phase started.
+    PhaseStart {
+        /// The job.
+        job: JobId,
+        /// The phase.
+        phase: Phase,
+    },
+    /// Periodic chain progress.
+    Progress {
+        /// The job.
+        job: JobId,
+        /// The chain's progress report.
+        progress: ChainProgress,
+    },
+    /// A candidate entered the re-rank stage.
+    Candidate {
+        /// The job.
+        job: JobId,
+        /// Candidate length in instructions.
+        instructions: usize,
+        /// Its search cost.
+        cost: f64,
+    },
+    /// A symbolic validation query finished.
+    Validation {
+        /// The job.
+        job: JobId,
+        /// The verdict.
+        verdict: ValidationVerdict,
+    },
+    /// The job finished (see [`Service::wait`] for the outcome).
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Where its result came from.
+        disposition: Disposition,
+    },
+    /// The job's run returned an error (including budget exhaustion).
+    Failed {
+        /// The job.
+        job: JobId,
+    },
+    /// The job was cancelled while queued and will never run.
+    Cancelled {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// Counters describing service activity, from [`Service::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs that completed with `Ok`.
+    pub completed: u64,
+    /// Jobs whose run returned an error (budget exhaustion included).
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Jobs served straight from the cache.
+    pub cache_hits: u64,
+    /// Jobs warm-started from a near-miss entry.
+    pub warm_starts: u64,
+    /// Jobs that ran a cold search.
+    pub cold_searches: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of finished jobs served straight from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let finished = self.completed + self.failed;
+        if finished == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / finished as f64
+        }
+    }
+}
+
+/// Errors from the service control plane ([`Service::wait`] and friends).
+/// Search errors travel inside [`JobOutcome::result`] instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The job id was never issued by this service.
+    UnknownJob(JobId),
+    /// The job was cancelled while queued and has no outcome.
+    Cancelled(JobId),
+    /// Saving or loading the persistent cache failed.
+    Persist(crate::cache::PersistError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownJob(job) => write!(f, "{job} was never submitted here"),
+            ServeError::Cancelled(job) => write!(f, "{job} was cancelled before it ran"),
+            ServeError::Persist(e) => write!(f, "cache persistence failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<crate::cache::PersistError> for ServeError {
+    fn from(e: crate::cache::PersistError) -> ServeError {
+        ServeError::Persist(e)
+    }
+}
+
+/// Configuration of a [`Service`].
+pub struct ServeConfig {
+    /// The search configuration every job runs under (it is part of the
+    /// cache key's pipeline fingerprint).
+    pub search: Config,
+    /// Worker threads draining the queue (each job then runs its own
+    /// `search.threads` chains).
+    pub workers: usize,
+    /// Template for per-job budgets: each job gets a
+    /// [detached](Budget::detached) copy so jobs cancel independently.
+    pub job_budget: Budget,
+    /// Batch-wide budget: a single clock started when the service starts,
+    /// charged by every proposal of every job.
+    pub batch_budget: Budget,
+    /// Rewrite-cache sizing and expiry.
+    pub cache: CacheConfig,
+    /// Maximum canonical edit distance for warm-start seeding (`0`
+    /// disables warm starts).
+    pub warm_start_max_distance: usize,
+    /// When set, the cache is loaded from this file at start (if it
+    /// exists) and saved back on [`Service::shutdown`].
+    pub cache_path: Option<PathBuf>,
+    /// Verifier for every job's re-rank stage (`None` = the session
+    /// default cascade). Its name is part of the pipeline fingerprint.
+    pub verifier: Option<Arc<dyn Verifier>>,
+}
+
+impl ServeConfig {
+    /// A service configuration with `search` and defaults everywhere
+    /// else: one worker, unlimited budgets, a 4096-entry cache with no
+    /// TTL, warm starts within distance 2, no persistence.
+    pub fn new(search: Config) -> ServeConfig {
+        ServeConfig {
+            search,
+            workers: 1,
+            job_budget: Budget::unlimited(),
+            batch_budget: Budget::unlimited(),
+            cache: CacheConfig::default(),
+            warm_start_max_distance: 2,
+            cache_path: None,
+            verifier: None,
+        }
+    }
+}
+
+struct PendingJob {
+    seq: u64,
+    id: JobId,
+    priority: Priority,
+    spec: TargetSpec,
+    budget: Budget,
+    submitted: Instant,
+}
+
+impl PartialEq for PendingJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for PendingJob {}
+impl PartialOrd for PendingJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then lower sequence (FIFO).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct JobRecord {
+    status: JobStatus,
+    cancel: stoke::CancelToken,
+    outcome: Option<JobOutcome>,
+}
+
+struct QueueState {
+    pending: BinaryHeap<PendingJob>,
+    jobs: HashMap<JobId, JobRecord>,
+    next_id: u64,
+    next_seq: u64,
+    shutdown: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    config: Config,
+    fingerprint: PipelineFingerprint,
+    verifier: Option<Arc<dyn Verifier>>,
+    job_budget: Budget,
+    warm_start_max_distance: usize,
+    queue: Mutex<QueueState>,
+    /// Wakes workers (new job / shutdown).
+    work: Condvar,
+    /// Wakes `wait` callers (job finished / cancelled).
+    done: Condvar,
+    batch_clock: Arc<BudgetClock>,
+    cache: Mutex<RewriteCache>,
+    subscribers: Mutex<Vec<Sender<JobEvent>>>,
+}
+
+impl Shared {
+    fn emit(&self, event: JobEvent) {
+        let mut subs = self.subscribers.lock().expect("subscriber lock");
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+}
+
+/// An observer adapter forwarding one job's session callbacks into the
+/// service event stream.
+struct JobObserver {
+    job: JobId,
+    shared: Arc<Shared>,
+}
+
+impl SearchObserver for JobObserver {
+    fn on_phase_start(&self, _target: usize, phase: Phase) {
+        self.shared.emit(JobEvent::PhaseStart {
+            job: self.job,
+            phase,
+        });
+    }
+
+    fn on_chain_progress(&self, progress: &ChainProgress) {
+        self.shared.emit(JobEvent::Progress {
+            job: self.job,
+            progress: *progress,
+        });
+    }
+
+    fn on_candidate(&self, _target: usize, candidate: &Program, cost: f64) {
+        self.shared.emit(JobEvent::Candidate {
+            job: self.job,
+            instructions: candidate.len(),
+            cost,
+        });
+    }
+
+    fn on_validation(&self, _target: usize, verdict: ValidationVerdict) {
+        self.shared.emit(JobEvent::Validation {
+            job: self.job,
+            verdict,
+        });
+    }
+}
+
+/// Superoptimization as a service: worker threads drain a priority queue
+/// of [`TargetSpec`] jobs through the [`Session`] pipeline, short-circuit
+/// canonically-cached targets, and warm-start near misses.
+///
+/// ```
+/// use stoke::{Config, TargetSpec};
+/// use stoke_serve::{Disposition, ServeConfig, Service};
+/// use stoke_x86::Gpr;
+///
+/// let config = Config::builder()
+///     .ell(8).num_testcases(8).threads(1)
+///     .synthesis_iterations(2_000).optimization_iterations(8_000)
+///     .build().unwrap();
+/// let service = Service::start(ServeConfig::new(config)).unwrap();
+/// let target = "movq rdi, rbx\nmovq rbx, rax\naddq rsi, rax".parse().unwrap();
+/// let spec = TargetSpec::with_gprs(target, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+///
+/// let first = service.submit(spec.clone());
+/// let second = service.submit(spec); // same target again
+/// assert!(service.wait(first).unwrap().result.is_ok());
+/// let outcome = service.wait(second).unwrap();
+/// // The resubmission is served from the cache without searching.
+/// assert_eq!(outcome.disposition, Disposition::CacheHit);
+/// assert_eq!(outcome.result.unwrap().stats.total_proposals(), 0);
+/// let stats = service.shutdown().unwrap();
+/// assert_eq!(stats.cache_hits, 1);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    cache_path: Option<PathBuf>,
+}
+
+impl Service {
+    /// Start the service: load the persistent cache (when configured and
+    /// present), start the batch-wide budget clock, and spawn the worker
+    /// threads.
+    ///
+    /// # Errors
+    /// [`ServeError::Persist`] if a configured cache file exists but is
+    /// corrupt — a damaged cache is rejected, never silently served.
+    pub fn start(config: ServeConfig) -> Result<Service, ServeError> {
+        let verifier_name = config.verifier.as_ref().map_or("cascade", |v| v.name());
+        let fingerprint = PipelineFingerprint::new(&config.search, verifier_name);
+        let cache = match &config.cache_path {
+            Some(path) if path.exists() => RewriteCache::load(path, config.cache.clone())?,
+            _ => RewriteCache::new(config.cache.clone()),
+        };
+        let shared = Arc::new(Shared {
+            fingerprint,
+            verifier: config.verifier,
+            job_budget: config.job_budget,
+            warm_start_max_distance: config.warm_start_max_distance,
+            queue: Mutex::new(QueueState {
+                pending: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                next_id: 0,
+                next_seq: 0,
+                shutdown: false,
+                stats: ServiceStats::default(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            batch_clock: Arc::new(BudgetClock::start(&config.batch_budget)),
+            cache: Mutex::new(cache),
+            subscribers: Mutex::new(Vec::new()),
+            config: config.search,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Ok(Service {
+            shared,
+            workers,
+            cache_path: config.cache_path,
+        })
+    }
+
+    /// Submit a target with default options; returns immediately.
+    pub fn submit(&self, spec: TargetSpec) -> JobId {
+        self.submit_with(spec, SubmitOptions::default())
+    }
+
+    /// Submit a target with an explicit priority and/or budget; returns
+    /// immediately.
+    pub fn submit_with(&self, spec: TargetSpec, options: SubmitOptions) -> JobId {
+        let (id, priority) = {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            let id = JobId(q.next_id);
+            q.next_id += 1;
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            // A caller-provided budget is used as-is (its cancel token is
+            // shared with the caller); otherwise the job gets a fresh,
+            // independently cancellable copy of the service template.
+            let budget = options
+                .budget
+                .unwrap_or_else(|| self.shared.job_budget.detached());
+            q.jobs.insert(
+                id,
+                JobRecord {
+                    status: JobStatus::Queued,
+                    cancel: budget.cancel_token(),
+                    outcome: None,
+                },
+            );
+            q.pending.push(PendingJob {
+                seq,
+                id,
+                priority: options.priority,
+                spec,
+                budget,
+                submitted: Instant::now(),
+            });
+            q.stats.submitted += 1;
+            self.shared.work.notify_one();
+            (id, options.priority)
+        };
+        self.shared.emit(JobEvent::Submitted { job: id, priority });
+        id
+    }
+
+    /// The job's lifecycle state, or `None` for an unknown id.
+    pub fn status(&self, job: JobId) -> Option<JobStatus> {
+        let q = self.shared.queue.lock().expect("queue lock");
+        q.jobs.get(&job).map(|r| r.status)
+    }
+
+    /// Block until the job finishes and return its outcome (cloned, so
+    /// several callers may wait on the same job).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownJob`] for an id this service never issued;
+    /// [`ServeError::Cancelled`] if the job was cancelled while queued.
+    /// A job cancelled *mid-run* instead completes with
+    /// `Err(StokeError::BudgetExhausted { .. })` in its outcome.
+    pub fn wait(&self, job: JobId) -> Result<JobOutcome, ServeError> {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        loop {
+            match q.jobs.get(&job) {
+                None => return Err(ServeError::UnknownJob(job)),
+                Some(record) => match (&record.outcome, record.status) {
+                    (Some(outcome), _) => return Ok(outcome.clone()),
+                    (None, JobStatus::Cancelled) => return Err(ServeError::Cancelled(job)),
+                    _ => {}
+                },
+            }
+            q = self.shared.done.wait(q).expect("queue lock");
+        }
+    }
+
+    /// Cancel a job. A queued job is withdrawn and never runs; a running
+    /// job's budget is cancelled, preempting its chains at the next
+    /// proposal. Returns `false` for unknown or already-finished jobs.
+    pub fn cancel(&self, job: JobId) -> bool {
+        let cancelled = {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            match q.jobs.get_mut(&job) {
+                None => return false,
+                Some(record) => match record.status {
+                    JobStatus::Done | JobStatus::Cancelled => return false,
+                    JobStatus::Queued => {
+                        record.status = JobStatus::Cancelled;
+                        record.cancel.cancel();
+                        q.stats.cancelled += 1;
+                        self.shared.done.notify_all();
+                        true
+                    }
+                    JobStatus::Running => {
+                        record.cancel.cancel();
+                        false
+                    }
+                },
+            }
+        };
+        if cancelled {
+            self.shared.emit(JobEvent::Cancelled { job });
+        }
+        true
+    }
+
+    /// Subscribe to the service's [`JobEvent`] stream. Every subscriber
+    /// receives every event from subscription time on; dropping the
+    /// receiver unsubscribes.
+    pub fn subscribe(&self) -> Receiver<JobEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .subscribers
+            .lock()
+            .expect("subscriber lock")
+            .push(tx);
+        rx
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.queue.lock().expect("queue lock").stats
+    }
+
+    /// A snapshot of the rewrite-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Live entries in the rewrite cache.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache lock").len()
+    }
+
+    /// Stop the service: cancel still-queued jobs, wait for running jobs
+    /// to finish, persist the cache (when configured), and return the
+    /// final counters.
+    ///
+    /// # Errors
+    /// [`ServeError::Persist`] if saving the cache file fails; workers
+    /// are already stopped by then.
+    pub fn shutdown(mut self) -> Result<ServiceStats, ServeError> {
+        self.shutdown_impl()?;
+        Ok(self.stats())
+    }
+
+    fn shutdown_impl(&mut self) -> Result<(), ServeError> {
+        let withdrawn: Vec<JobId> = {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            if q.shutdown {
+                Vec::new()
+            } else {
+                q.shutdown = true;
+                let mut withdrawn = Vec::new();
+                while let Some(job) = q.pending.pop() {
+                    if let Some(record) = q.jobs.get_mut(&job.id) {
+                        if record.status == JobStatus::Queued {
+                            record.status = JobStatus::Cancelled;
+                            q.stats.cancelled += 1;
+                            withdrawn.push(job.id);
+                        }
+                    }
+                }
+                withdrawn
+            }
+        };
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+        for job in withdrawn {
+            self.shared.emit(JobEvent::Cancelled { job });
+        }
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.cache_path {
+            self.shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .save(path)
+                .map_err(crate::cache::PersistError::Io)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pending.pop() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q).expect("queue lock");
+            }
+        };
+        run_job(&shared, job);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: PendingJob) {
+    let PendingJob {
+        id,
+        spec,
+        budget,
+        submitted,
+        ..
+    } = job;
+    // Jobs cancelled while queued are skipped (the cancel call already
+    // marked the record and emitted the event).
+    {
+        let mut q = shared.queue.lock().expect("queue lock");
+        let record = q.jobs.get_mut(&id).expect("record exists for queued job");
+        if record.status == JobStatus::Cancelled {
+            return;
+        }
+        record.status = JobStatus::Running;
+    }
+    let queue_time = submitted.elapsed();
+    shared.emit(JobEvent::Started { job: id });
+    let started = Instant::now();
+
+    let key = CacheKey::for_spec(&spec, shared.fingerprint);
+    let timing = TimingModel::default();
+
+    // 1. Exact canonical hit: serve without searching.
+    let exact = shared.cache.lock().expect("cache lock").lookup(&key);
+    if let Some(hit) = exact {
+        let rewrite = key.renaming().inverse().apply_program(&hit.rewrite);
+        let result = StokeResult {
+            target_latency: spec.program.static_latency(),
+            rewrite_latency: rewrite.static_latency(),
+            target_cycles: timing.cycles(&spec.program),
+            rewrite_cycles: timing.cycles(&rewrite),
+            rewrite,
+            verification: hit.verification,
+            stats: SearchStats::default(),
+        };
+        shared.emit(JobEvent::CacheHit { job: id });
+        complete(
+            shared,
+            id,
+            Disposition::CacheHit,
+            Ok(result),
+            queue_time,
+            started.elapsed(),
+        );
+        return;
+    }
+
+    // 2. Near miss: seed synthesis from the closest cached rewrite.
+    let near = if shared.warm_start_max_distance > 0 {
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .nearest(&key, shared.warm_start_max_distance)
+    } else {
+        None
+    };
+    let warm: Option<(Program, usize)> = near.map(|(cached, distance)| {
+        (
+            key.renaming().inverse().apply_program(&cached.rewrite),
+            distance,
+        )
+    });
+    if let Some((_, distance)) = &warm {
+        shared.emit(JobEvent::WarmStart {
+            job: id,
+            distance: *distance,
+        });
+    }
+
+    // 3. Full pipeline run under the composed job + batch clocks.
+    let mut session = Session::new(shared.config.clone()).with_observer(Arc::new(JobObserver {
+        job: id,
+        shared: shared.clone(),
+    }));
+    if let Some(verifier) = &shared.verifier {
+        session = session.with_verifier(verifier.clone());
+    }
+    let clock = BudgetClock::start_with_parent(&budget, shared.batch_clock.clone());
+    let mut request = RunRequest::new()
+        .under_clock(&clock)
+        .for_target(id.value() as usize);
+    if let Some((program, _)) = &warm {
+        request = request.warm_start(program);
+    }
+    let result = session.run_request(&spec, request);
+
+    if let Ok(found) = &result {
+        // Only fully completed results are cached: a partial result's
+        // rewrite passed fewer guarantees than the fingerprint claims.
+        // TargetReturned results are still cached — "no improvement
+        // exists within this effort" is exactly as reusable.
+        shared.cache.lock().expect("cache lock").insert(
+            &key,
+            &found.rewrite,
+            found.verification.clone(),
+        );
+    }
+    let disposition = match warm {
+        Some((_, distance)) => Disposition::WarmStart { distance },
+        None => Disposition::ColdSearch,
+    };
+    complete(
+        shared,
+        id,
+        disposition,
+        result,
+        queue_time,
+        started.elapsed(),
+    );
+}
+
+fn complete(
+    shared: &Arc<Shared>,
+    id: JobId,
+    disposition: Disposition,
+    result: Result<StokeResult, StokeError>,
+    queue_time: Duration,
+    run_time: Duration,
+) {
+    let failed = result.is_err();
+    {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if failed {
+            q.stats.failed += 1;
+        } else {
+            q.stats.completed += 1;
+        }
+        match disposition {
+            Disposition::CacheHit => q.stats.cache_hits += 1,
+            Disposition::WarmStart { .. } => q.stats.warm_starts += 1,
+            Disposition::ColdSearch => q.stats.cold_searches += 1,
+        }
+        let record = q.jobs.get_mut(&id).expect("record exists");
+        record.status = JobStatus::Done;
+        record.outcome = Some(JobOutcome {
+            job: id,
+            disposition,
+            result,
+            queue_time,
+            run_time,
+        });
+        shared.done.notify_all();
+    }
+    shared.emit(if failed {
+        JobEvent::Failed { job: id }
+    } else {
+        JobEvent::Completed {
+            job: id,
+            disposition,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(seq: u64, priority: Priority) -> PendingJob {
+        PendingJob {
+            seq,
+            id: JobId(seq),
+            priority,
+            spec: TargetSpec::with_gprs(
+                "movq rdi, rax".parse().unwrap(),
+                &[stoke_x86::Gpr::Rdi],
+                &[stoke_x86::Gpr::Rax],
+            ),
+            budget: Budget::unlimited(),
+            submitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        heap.push(pending(0, Priority::Normal));
+        heap.push(pending(1, Priority::Low));
+        heap.push(pending(2, Priority::High));
+        heap.push(pending(3, Priority::Normal));
+        heap.push(pending(4, Priority::High));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|j| j.seq).collect();
+        assert_eq!(order, vec![2, 4, 0, 3, 1]);
+    }
+}

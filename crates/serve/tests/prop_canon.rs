@@ -1,0 +1,213 @@
+//! Property tests for the canonical cache key: invariance under register
+//! alpha-renaming and input reordering, no aliasing between distinct
+//! canonical programs, and persistence round trips over random entries.
+
+use proptest::prelude::*;
+use stoke::{Config, InputSpec, Proposer, TargetSpec, Verification};
+use stoke_serve::{CacheConfig, CacheKey, PipelineFingerprint, RewriteCache};
+use stoke_x86::canon::{canonicalize, normalize_immediates, pinned_registers, Renaming};
+use stoke_x86::flow::LocSet;
+use stoke_x86::{Gpr, Program};
+
+fn fingerprint() -> PipelineFingerprint {
+    PipelineFingerprint::new(&Config::default(), "cascade")
+}
+
+/// A random program drawn from the full proposal distribution (so it can
+/// contain implicit-operand opcodes like `mulq`, memory operands, every
+/// immediate in the pool, ...).
+fn random_program(seed: u64, len: usize) -> Program {
+    let config = Config {
+        ell: len,
+        ..Config::default()
+    };
+    let mut proposer = Proposer::new(config, seed);
+    (0..len).map(|_| proposer.random_instruction()).collect()
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniformly random register permutation that fixes every pinned
+/// register — exactly the symmetry group the canonical key must be
+/// invariant under.
+fn permutation_fixing(pinned: &[bool; 16], seed: u64) -> Renaming {
+    let free: Vec<usize> = (0..16).filter(|&i| !pinned[i]).collect();
+    let mut images = free.clone();
+    let mut state = seed;
+    for i in (1..images.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        images.swap(i, j);
+    }
+    let mut map = Gpr::ALL;
+    for (slot, img) in free.iter().zip(&images) {
+        map[*slot] = Gpr::from_index(*img);
+    }
+    Renaming::from_map(map).unwrap()
+}
+
+/// `spec` with the permutation applied to the program, the inputs, and
+/// the live-out set — the same submission through different registers.
+fn rename_spec(spec: &TargetSpec, pi: &Renaming) -> TargetSpec {
+    let inputs: Vec<InputSpec> = spec
+        .inputs
+        .iter()
+        .map(|input| InputSpec {
+            reg: pi.apply_gpr(input.reg),
+            kind: input.kind.clone(),
+        })
+        .collect();
+    let outputs = spec.live_out.gprs.iter().map(|g| pi.apply_gpr(*g));
+    TargetSpec::new(
+        pi.apply_program(&spec.program),
+        inputs,
+        LocSet::from_gprs(outputs),
+    )
+}
+
+fn spec_for(program: Program) -> TargetSpec {
+    TargetSpec::new(
+        program,
+        vec![InputSpec::value64(Gpr::Rdi), InputSpec::value32(Gpr::Rsi)],
+        LocSet::from_gprs([Gpr::Rax]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The acceptance-critical invariance: renaming every register of a
+    /// submission by any permutation that fixes the program's pinned
+    /// registers leaves the cache key byte-identical.
+    #[test]
+    fn key_is_invariant_under_register_renaming(
+        program_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        len in 1usize..10,
+    ) {
+        let spec = spec_for(random_program(program_seed, len));
+        let pi = permutation_fixing(&pinned_registers(&spec.program), perm_seed);
+        let renamed = rename_spec(&spec, &pi);
+        let key = CacheKey::for_spec(&spec, fingerprint());
+        let renamed_key = CacheKey::for_spec(&renamed, fingerprint());
+        prop_assert_eq!(key.text(), renamed_key.text());
+        // And the recorded renamings let both submitters round-trip a
+        // canonical rewrite into their own register space: mapping the
+        // canonical program back must recover each normalized original.
+        let canon: Program = key.program_lines().join("\n").parse().unwrap();
+        prop_assert_eq!(
+            key.renaming().inverse().apply_program(&canon).to_string(),
+            normalize_immediates(&spec.program).to_string()
+        );
+        prop_assert_eq!(
+            renamed_key.renaming().inverse().apply_program(&canon).to_string(),
+            normalize_immediates(&renamed.program).to_string()
+        );
+    }
+
+    /// Reordering the submitted input list is immaterial: the key sorts
+    /// interface lines canonically.
+    #[test]
+    fn key_is_invariant_under_input_reordering(
+        program_seed in any::<u64>(),
+        len in 1usize..8,
+        rotation in 0usize..4,
+    ) {
+        let program = random_program(program_seed, len);
+        let mut inputs = vec![
+            InputSpec::value64(Gpr::Rdi),
+            InputSpec::value64(Gpr::Rsi),
+            InputSpec::value32(Gpr::Rcx),
+            InputSpec::pointer(Gpr::R8, 64),
+        ];
+        let live_out = LocSet::from_gprs([Gpr::Rax]);
+        let spec = TargetSpec::new(program.clone(), inputs.clone(), live_out.clone());
+        inputs.rotate_left(rotation);
+        let rotated = TargetSpec::new(program, inputs, live_out);
+        prop_assert_eq!(
+            CacheKey::for_spec(&spec, fingerprint()).text(),
+            CacheKey::for_spec(&rotated, fingerprint()).text()
+        );
+    }
+
+    /// Keys alias exactly when the canonical programs are byte-identical:
+    /// two submissions share an entry only if they are literally the same
+    /// search problem up to renaming, so semantically different programs
+    /// (distinct canonical forms) can never collide.
+    #[test]
+    fn distinct_canonical_programs_never_collide(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        len in 2usize..10,
+    ) {
+        let a = spec_for(random_program(seed_a, len));
+        let b = spec_for(random_program(seed_b.wrapping_add(1), len));
+        let key_a = CacheKey::for_spec(&a, fingerprint());
+        let key_b = CacheKey::for_spec(&b, fingerprint());
+        // interface_tail for this fixed interface is [rdi, rsi, rax].
+        let tail = [Gpr::Rdi, Gpr::Rsi, Gpr::Rax];
+        let canon_a = canonicalize(&a.program, &tail).0.to_string();
+        let canon_b = canonicalize(&b.program, &tail).0.to_string();
+        prop_assert_eq!(key_a.text() == key_b.text(), canon_a == canon_b);
+    }
+
+    /// Saving and re-loading a cache full of random entries preserves
+    /// every entry bit-for-bit.
+    #[test]
+    fn persistence_round_trips_random_entries(
+        seed in any::<u64>(),
+        count in 1usize..4,
+        len in 1usize..8,
+    ) {
+        let mut cache = RewriteCache::new(CacheConfig::default());
+        let mut keys = Vec::new();
+        for i in 0..count {
+            let program = random_program(seed.wrapping_add(i as u64), len);
+            let spec = spec_for(program.clone());
+            let key = CacheKey::for_spec(&spec, fingerprint());
+            // A target is always admissible as its own rewrite: it pins
+            // exactly the registers the key already pins.
+            prop_assert!(cache.insert(&key, &program, Verification::TestsOnly));
+            keys.push((key, program));
+        }
+        let path = std::env::temp_dir().join(format!(
+            "stoke-serve-prop-roundtrip-{}.cache",
+            std::process::id()
+        ));
+        cache.save(&path).unwrap();
+        let mut loaded = RewriteCache::load(&path, CacheConfig::default()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(loaded.len(), cache.len());
+        for (key, program) in &keys {
+            let hit = loaded.lookup(key).expect("entry survives the round trip");
+            prop_assert_eq!(
+                hit.rewrite.to_string(),
+                key.canonical_rewrite(program).to_string()
+            );
+            prop_assert_eq!(hit.verification, Verification::TestsOnly);
+        }
+    }
+
+    /// Immediate normalization is idempotent and register renaming is
+    /// invertible — the two rewrite transformations the cache applies.
+    #[test]
+    fn normalization_is_idempotent_and_renaming_invertible(
+        program_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        len in 1usize..10,
+    ) {
+        let program = random_program(program_seed, len);
+        let once = normalize_immediates(&program);
+        prop_assert_eq!(normalize_immediates(&once).to_string(), once.to_string());
+        let pi = permutation_fixing(&[false; 16], perm_seed);
+        prop_assert_eq!(
+            pi.inverse().apply_program(&pi.apply_program(&program)).to_string(),
+            program.to_string()
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end service tests: cache-hit serving after register renaming
+//! (the acceptance-critical zero-proposal resubmission), warm starts from
+//! near-miss entries, cancellation, budgets, events, and persistence
+//! across service restarts.
+
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::{Duration, Instant};
+use stoke::{generate_testcases, Budget, Config, CostFn, StokeError, TargetSpec};
+use stoke_serve::{Disposition, JobEvent, JobStatus, ServeConfig, ServeError, Service};
+use stoke_x86::canon::Renaming;
+use stoke_x86::{Gpr, Program};
+
+fn quick_config() -> Config {
+    Config {
+        ell: 8,
+        num_testcases: 8,
+        synthesis_iterations: 5_000,
+        optimization_iterations: 20_000,
+        threads: 1,
+        ..Config::default()
+    }
+}
+
+/// The clumsy `rax = rdi + rsi` target used throughout the driver tests.
+fn clumsy_add() -> TargetSpec {
+    let program: Program = "
+        movq rdi, rbx
+        movq rbx, rcx
+        movq rcx, rax
+        addq rsi, rax
+        movq rax, rbx
+        movq rbx, rax
+    "
+    .parse()
+    .unwrap();
+    TargetSpec::with_gprs(program, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax])
+}
+
+/// A register permutation moving every register `clumsy_add` touches
+/// (none of them pinned — the program has no implicit-operand opcodes).
+fn shuffle() -> Renaming {
+    let mut map = Gpr::ALL;
+    let mut swap = |a: Gpr, b: Gpr| map.swap(a.index(), b.index());
+    swap(Gpr::Rdi, Gpr::R9);
+    swap(Gpr::Rsi, Gpr::R10);
+    swap(Gpr::Rax, Gpr::R12);
+    swap(Gpr::Rbx, Gpr::R13);
+    swap(Gpr::Rcx, Gpr::R14);
+    Renaming::from_map(map).unwrap()
+}
+
+/// `spec` with every register (program, inputs, live-outs) renamed by `pi`.
+fn rename_spec(spec: &TargetSpec, pi: &Renaming) -> TargetSpec {
+    let inputs: Vec<Gpr> = spec.inputs.iter().map(|i| pi.apply_gpr(i.reg)).collect();
+    let outputs: Vec<Gpr> = spec
+        .live_out
+        .gprs
+        .iter()
+        .map(|g| pi.apply_gpr(*g))
+        .collect();
+    TargetSpec::with_gprs(pi.apply_program(&spec.program), &inputs, &outputs)
+}
+
+/// Acceptance criterion: resubmitting a canonically-equal target — here
+/// the same kernel after a full register renaming — is served from the
+/// cache with zero proposals, and the served rewrite is correct in the
+/// *submitter's* registers.
+#[test]
+fn renamed_resubmission_is_served_with_zero_proposals() {
+    let service = Service::start(ServeConfig::new(quick_config())).unwrap();
+    let first = service.submit(clumsy_add());
+    let cold = service.wait(first).unwrap();
+    assert_eq!(cold.disposition, Disposition::ColdSearch);
+    let cold_result = cold.result.unwrap();
+    assert!(cold_result.stats.total_proposals() > 0);
+
+    let renamed = rename_spec(&clumsy_add(), &shuffle());
+    let second = service.submit(renamed.clone());
+    let hit = service.wait(second).unwrap();
+    assert_eq!(hit.disposition, Disposition::CacheHit);
+    let served = hit.result.unwrap();
+    assert_eq!(
+        served.stats.total_proposals(),
+        0,
+        "a cache hit must not search"
+    );
+
+    // The served rewrite must be correct for the *renamed* interface on
+    // fresh test cases.
+    let fresh = generate_testcases(&renamed, 16, 7777);
+    let mut cf = CostFn::new(quick_config(), fresh, 0);
+    let instrs: Vec<_> = served.rewrite.iter().cloned().collect();
+    assert_eq!(cf.eq_prime(&instrs), 0, "served rewrite fails fresh tests");
+
+    let stats = service.shutdown().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cold_searches, 1);
+    assert_eq!(stats.hit_rate(), 0.5);
+}
+
+/// Acceptance criterion: a near-miss submission warm-starts from the
+/// cached neighbour and reaches `eq' == 0` in fewer synthesis proposals
+/// than a cold start of the very same target.
+#[test]
+fn warm_start_from_near_miss_beats_cold_start() {
+    // Same function as clumsy_add with one extra (no-op) instruction:
+    // canonical edit distance 1 from the cached entry.
+    let near_miss_prog: Program = "
+        movq rdi, rbx
+        movq rbx, rcx
+        movq rcx, rax
+        addq rsi, rax
+        movq rax, rbx
+        movq rbx, rax
+        addq 0, rax
+    "
+    .parse()
+    .unwrap();
+    let near_miss = TargetSpec::with_gprs(near_miss_prog, &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+
+    // Cold baseline: the same target through a plain session.
+    let cold = stoke::Session::new(quick_config()).run(&near_miss).unwrap();
+    assert!(cold.stats.synthesis_proposals > 0);
+
+    let service = Service::start(ServeConfig::new(quick_config())).unwrap();
+    let seed_job = service.submit(clumsy_add());
+    assert!(service.wait(seed_job).unwrap().result.is_ok());
+
+    let warm_job = service.submit(near_miss.clone());
+    let warm = service.wait(warm_job).unwrap();
+    assert_eq!(warm.disposition, Disposition::WarmStart { distance: 1 });
+    let warm_result = warm.result.unwrap();
+    assert!(warm_result.stats.synthesis_succeeded);
+    assert!(
+        warm_result.stats.synthesis_proposals < cold.stats.synthesis_proposals,
+        "warm start took {} synthesis proposals, cold start {}",
+        warm_result.stats.synthesis_proposals,
+        cold.stats.synthesis_proposals
+    );
+    // Still correct on fresh test cases.
+    let fresh = generate_testcases(&near_miss, 16, 31415);
+    let mut cf = CostFn::new(quick_config(), fresh, 0);
+    let instrs: Vec<_> = warm_result.rewrite.iter().cloned().collect();
+    assert_eq!(cf.eq_prime(&instrs), 0);
+
+    let stats = service.shutdown().unwrap();
+    assert_eq!(stats.warm_starts, 1);
+}
+
+#[test]
+fn event_stream_reports_the_job_lifecycle() {
+    let service = Service::start(ServeConfig::new(quick_config())).unwrap();
+    let events = service.subscribe();
+    let spec = clumsy_add();
+    let first = service.submit(spec.clone());
+    let second = service.submit(spec);
+    service.wait(first).unwrap();
+    service.wait(second).unwrap();
+
+    let mut seen = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match events.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => {
+                let done = matches!(&event, JobEvent::Completed { job, .. } if *job == second);
+                seen.push(event);
+                if done {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) if Instant::now() < deadline => {}
+            Err(e) => panic!("event stream ended early: {e:?}"),
+        }
+    }
+
+    let position = |want: &JobEvent| seen.iter().position(|e| e == want);
+    for job in [first, second] {
+        let started = position(&JobEvent::Started { job }).expect("Started event");
+        assert!(seen[..started]
+            .iter()
+            .any(|e| matches!(e, JobEvent::Submitted { job: j, .. } if *j == job)));
+    }
+    // The first job runs cold; the second is announced and completed as a
+    // cache hit, strictly after its start.
+    let hit = position(&JobEvent::CacheHit { job: second }).expect("CacheHit event");
+    let done = position(&JobEvent::Completed {
+        job: second,
+        disposition: Disposition::CacheHit,
+    })
+    .expect("Completed event");
+    assert!(position(&JobEvent::Started { job: second }).unwrap() < hit);
+    assert!(hit < done);
+    assert!(position(&JobEvent::Completed {
+        job: first,
+        disposition: Disposition::ColdSearch,
+    })
+    .is_some());
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn cancellation_preempts_running_jobs_and_withdraws_queued_ones() {
+    // Effectively unbounded search so jobs only end by cancellation.
+    let config = Config {
+        synthesis_iterations: u64::MAX / 2,
+        ..quick_config()
+    };
+    let service = Service::start(ServeConfig::new(config)).unwrap();
+    let running = service.submit(clumsy_add());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.status(running) != Some(JobStatus::Running) {
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The single worker is busy, so these stay queued.
+    let queued_a = service.submit(clumsy_add());
+    let queued_b = service.submit(clumsy_add());
+    assert_eq!(service.status(queued_a), Some(JobStatus::Queued));
+
+    assert!(service.cancel(queued_b));
+    assert!(service.cancel(queued_a));
+    assert_eq!(service.status(queued_a), Some(JobStatus::Cancelled));
+    match service.wait(queued_a) {
+        Err(ServeError::Cancelled(job)) => assert_eq!(job, queued_a),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Cancelling twice (or a finished job) is a no-op.
+    assert!(!service.cancel(queued_a));
+
+    // Cancelling the running job preempts its chains: the outcome is a
+    // budget-exhausted partial result, not a control-plane error.
+    service.cancel(running);
+    let outcome = service.wait(running).unwrap();
+    assert_eq!(outcome.disposition, Disposition::ColdSearch);
+    match outcome.result {
+        Err(StokeError::BudgetExhausted { .. }) => {}
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+
+    // Nothing was cached: partial results carry no reusable guarantee.
+    assert_eq!(service.cache_len(), 0);
+    let stats = service.shutdown().unwrap();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn batch_budget_is_shared_across_jobs() {
+    let mut config = ServeConfig::new(quick_config());
+    config.batch_budget = Budget::unlimited().with_max_proposals(50);
+    let service = Service::start(config).unwrap();
+
+    let first = service.submit(clumsy_add());
+    // A different target, so neither the cache nor a warm start applies
+    // (its interface matches but the batch clock is already exhausted).
+    let other: Program = "movq rdi, rax\nsubq rsi, rax\nsubq rsi, rax"
+        .parse()
+        .unwrap();
+    let second = service.submit(TargetSpec::with_gprs(
+        other,
+        &[Gpr::Rdi, Gpr::Rsi],
+        &[Gpr::Rax],
+    ));
+
+    for job in [first, second] {
+        let outcome = service.wait(job).unwrap();
+        match outcome.result {
+            Err(StokeError::BudgetExhausted { ref partial }) => {
+                assert!(
+                    partial.stats.total_proposals() <= 50,
+                    "{job} overspent the batch budget"
+                );
+            }
+            ref other => panic!("expected BudgetExhausted for {job}, got {other:?}"),
+        }
+    }
+    let stats = service.shutdown().unwrap();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn wait_rejects_unknown_jobs() {
+    let service = Service::start(ServeConfig::new(quick_config())).unwrap();
+    let id = service.submit(clumsy_add());
+    service.wait(id).unwrap();
+    // An id from another service instance is unknown here.
+    let other = Service::start(ServeConfig::new(quick_config())).unwrap();
+    let foreign = {
+        let a = other.submit(clumsy_add());
+        other.wait(a).unwrap();
+        let b = other.submit(clumsy_add());
+        other.wait(b).unwrap();
+        b
+    };
+    assert!(service.status(foreign).is_none());
+    match service.wait(foreign) {
+        Err(ServeError::UnknownJob(job)) => assert_eq!(job, foreign),
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+    service.shutdown().unwrap();
+    other.shutdown().unwrap();
+}
+
+#[test]
+fn cache_persists_across_service_restarts() {
+    let path =
+        std::env::temp_dir().join(format!("stoke-serve-restart-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut config = ServeConfig::new(quick_config());
+    config.cache_path = Some(path.clone());
+    let service = Service::start(config).unwrap();
+    let job = service.submit(clumsy_add());
+    let cold = service.wait(job).unwrap();
+    assert_eq!(cold.disposition, Disposition::ColdSearch);
+    service.shutdown().unwrap();
+    assert!(path.exists(), "shutdown must persist the cache");
+
+    // A fresh service over the same file serves the kernel immediately —
+    // even through renamed registers.
+    let mut config = ServeConfig::new(quick_config());
+    config.cache_path = Some(path.clone());
+    let service = Service::start(config).unwrap();
+    assert_eq!(service.cache_len(), 1);
+    let job = service.submit(rename_spec(&clumsy_add(), &shuffle()));
+    let outcome = service.wait(job).unwrap();
+    assert_eq!(outcome.disposition, Disposition::CacheHit);
+    assert_eq!(outcome.result.unwrap().stats.total_proposals(), 0);
+    service.shutdown().unwrap();
+
+    // A corrupt cache file is rejected at startup, never silently served.
+    std::fs::write(&path, "not a cache file\n").unwrap();
+    let mut config = ServeConfig::new(quick_config());
+    config.cache_path = Some(path.clone());
+    match Service::start(config) {
+        Err(ServeError::Persist(_)) => {}
+        Ok(_) => panic!("corrupt cache file must be rejected"),
+        Err(other) => panic!("expected Persist error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

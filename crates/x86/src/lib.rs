@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod canon;
 pub mod classes;
 pub mod flow;
 pub mod instr;
@@ -36,6 +37,7 @@ pub mod parse;
 pub mod program;
 pub mod reg;
 
+pub use canon::{canonical_renaming, canonicalize, normalize_immediates, Renaming};
 pub use classes::OpcodeClasses;
 pub use instr::{build, InstrError, Instruction};
 pub use opcode::{AluOp, BitOp, Cond, Opcode, ShiftOp, SseBinOp, SseMov128, SseShiftOp, UnOp};

@@ -1,0 +1,129 @@
+//! Superoptimization as a service: solve a kernel once, serve it forever.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+//!
+//! Starts an in-process [`Service`], submits the paper's Montgomery
+//! multiplication kernel (Figure 1) a hundred times — including through a
+//! different register convention — and prints the measured cache hit rate
+//! and the cold-search vs cache-hit end-to-end latencies. The point of the
+//! rewrite cache: the 99 resubmissions cost microseconds, not searches.
+
+use std::time::{Duration, Instant};
+use stoke::{Budget, Config, InputSpec, TargetSpec, TestOnly};
+use stoke_serve::{Disposition, ServeConfig, Service};
+use stoke_workloads::kernels::MONT_GCC_O3;
+use stoke_x86::flow::LocSet;
+use stoke_x86::{Gpr, Program};
+
+/// The Montgomery kernel under the paper's register convention
+/// (rsi=np, ecx=mh, edx=ml, rdi=c0, r8=c1; outputs rdi/r8).
+fn montgomery_spec() -> TargetSpec {
+    let gcc: Program = MONT_GCC_O3.parse().expect("paper gcc code parses");
+    TargetSpec::new(
+        gcc,
+        vec![
+            InputSpec::value64(Gpr::Rsi),
+            InputSpec::value32(Gpr::Rcx),
+            InputSpec::value32(Gpr::Rdx),
+            InputSpec::value64(Gpr::Rdi),
+            InputSpec::value64(Gpr::R8),
+        ],
+        LocSet::from_gprs([Gpr::Rdi, Gpr::R8]),
+    )
+}
+
+fn main() {
+    // A deliberately small search: this example demonstrates the service
+    // economics, not search quality. The budget caps a slow runner; the
+    // test-case verifier keeps the smoke fast and deterministic.
+    let config = Config::builder()
+        .ell(30)
+        .num_testcases(16)
+        .synthesis_iterations(2_000)
+        .optimization_iterations(10_000)
+        .threads(2)
+        .build()
+        .expect("configuration is valid");
+    let mut serve = ServeConfig::new(config);
+    serve.job_budget = Budget::unlimited().with_wall_clock(Duration::from_secs(120));
+    serve.verifier = Some(std::sync::Arc::new(TestOnly));
+    let service = Service::start(serve).expect("service starts");
+
+    println!("=== stoke-serve: submit the Montgomery kernel 100 times ===\n");
+
+    // Submission 1: a cold search — the only one that costs anything.
+    let t0 = Instant::now();
+    let first = service.submit(montgomery_spec());
+    let cold = service.wait(first).expect("first job completes");
+    let cold_latency = t0.elapsed();
+    assert_eq!(cold.disposition, Disposition::ColdSearch);
+    let cold_result = cold.result.expect("cold search returns a result");
+    println!(
+        "cold search : {:?} end to end, {} proposals, verification {:?}",
+        cold_latency,
+        cold_result.stats.total_proposals(),
+        cold_result.verification,
+    );
+
+    // Submissions 2..=100: canonically equal, so they are *served*.
+    let resubmissions = 99;
+    let mut hit_latencies = Vec::with_capacity(resubmissions);
+    for _ in 0..resubmissions {
+        let t = Instant::now();
+        let job = service.submit(montgomery_spec());
+        let outcome = service.wait(job).expect("resubmission completes");
+        assert_eq!(
+            outcome.disposition,
+            Disposition::CacheHit,
+            "a resubmitted kernel must be served from the cache"
+        );
+        let result = outcome.result.expect("cache hits always succeed");
+        assert_eq!(
+            result.stats.total_proposals(),
+            0,
+            "cache hits do not search"
+        );
+        hit_latencies.push(t.elapsed());
+    }
+    hit_latencies.sort();
+    let median_hit = hit_latencies[resubmissions / 2];
+
+    // The cache is keyed canonically: the same kernel through a different
+    // register convention is still a hit.
+    let renamed: Program = MONT_GCC_O3
+        .replace("r9", "r15")
+        .parse()
+        .expect("renamed code parses");
+    let spec = TargetSpec::new(
+        renamed,
+        vec![
+            InputSpec::value64(Gpr::Rsi),
+            InputSpec::value32(Gpr::Rcx),
+            InputSpec::value32(Gpr::Rdx),
+            InputSpec::value64(Gpr::Rdi),
+            InputSpec::value64(Gpr::R8),
+        ],
+        LocSet::from_gprs([Gpr::Rdi, Gpr::R8]),
+    );
+    let job = service.submit(spec);
+    let outcome = service.wait(job).expect("renamed submission completes");
+    assert_eq!(
+        outcome.disposition,
+        Disposition::CacheHit,
+        "register renaming must not defeat the canonical cache key"
+    );
+    println!("renamed     : served from the cache through a different register convention");
+
+    let stats = service.shutdown().expect("clean shutdown");
+    println!("\nsubmitted {} jobs:", stats.submitted);
+    println!("  cold searches : {}", stats.cold_searches);
+    println!("  cache hits    : {}", stats.cache_hits);
+    println!("  hit rate      : {:.1}%", stats.hit_rate() * 100.0);
+    println!("\ncold end-to-end latency   : {cold_latency:?}");
+    println!("median cache-hit latency  : {median_hit:?}");
+    let speedup = cold_latency.as_secs_f64() / median_hit.as_secs_f64().max(1e-9);
+    println!("serving is ~{speedup:.0}x faster than searching");
+    assert_eq!(stats.cache_hits, resubmissions as u64 + 1);
+}

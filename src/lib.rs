@@ -2,6 +2,7 @@
 pub use stoke;
 pub use stoke_emu as emu;
 pub use stoke_ir as ir;
+pub use stoke_serve as serve;
 pub use stoke_solver as solver;
 pub use stoke_verify as verify;
 pub use stoke_workloads as workloads;
