@@ -1,0 +1,140 @@
+//! The generic fixpoint engine.
+//!
+//! Programs in this reproduction are straight-line (STOKE's search space
+//! is loop-free), so a single pass in the analysis direction reaches the
+//! fixpoint; the engine nevertheless iterates until the facts stop
+//! changing, which keeps the contract honest for transfer functions that
+//! are not distributive and makes the join visible in the API.
+
+use crate::lattice::JoinSemiLattice;
+use stoke_x86::Instruction;
+
+/// The direction facts flow in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from entry to exit (e.g. taint).
+    Forward,
+    /// Facts flow from exit to entry (e.g. liveness).
+    Backward,
+}
+
+/// Per-program-point fact annotations: `n + 1` facts for an
+/// `n`-instruction program, where fact `i` holds *before* instruction `i`
+/// and fact `n` holds after the last instruction.
+#[derive(Debug, Clone)]
+pub struct Annotations<F> {
+    facts: Vec<F>,
+}
+
+impl<F> Annotations<F> {
+    /// The fact at the program point before instruction `index`.
+    pub fn before(&self, index: usize) -> &F {
+        &self.facts[index]
+    }
+
+    /// The fact at the program point after instruction `index`.
+    pub fn after(&self, index: usize) -> &F {
+        &self.facts[index + 1]
+    }
+
+    /// The fact at program entry.
+    pub fn entry(&self) -> &F {
+        &self.facts[0]
+    }
+
+    /// The fact at program exit.
+    pub fn exit(&self) -> &F {
+        &self.facts[self.facts.len() - 1]
+    }
+
+    /// All facts, entry first (`len() == program length + 1`).
+    pub fn facts(&self) -> &[F] {
+        &self.facts
+    }
+}
+
+/// Run `transfer` to fixpoint over `instrs` in the given `direction`.
+///
+/// `boundary` seeds the entry fact (forward) or the exit fact (backward).
+/// The transfer function receives the instruction index, the instruction
+/// and the incoming fact, and returns the outgoing fact; "incoming" means
+/// the fact before the instruction for a forward analysis and the fact
+/// after it for a backward one.
+pub fn fixpoint<F, T>(
+    instrs: &[&Instruction],
+    direction: Direction,
+    boundary: &F,
+    mut transfer: T,
+) -> Annotations<F>
+where
+    F: JoinSemiLattice,
+    T: FnMut(usize, &Instruction, &F) -> F,
+{
+    let n = instrs.len();
+    let mut facts: Vec<F> = (0..=n).map(|_| F::bottom()).collect();
+    match direction {
+        Direction::Forward => facts[0].join(boundary),
+        Direction::Backward => facts[n].join(boundary),
+    };
+    loop {
+        let mut changed = false;
+        match direction {
+            Direction::Forward => {
+                for (i, instr) in instrs.iter().enumerate() {
+                    let out = transfer(i, instr, &facts[i]);
+                    changed |= facts[i + 1].join(&out);
+                }
+            }
+            Direction::Backward => {
+                for (i, instr) in instrs.iter().enumerate().rev() {
+                    let out = transfer(i, instr, &facts[i + 1]);
+                    changed |= facts[i].join(&out);
+                }
+            }
+        }
+        if !changed {
+            return Annotations { facts };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoke_x86::flow::LocSet;
+    use stoke_x86::{Gpr, Program};
+
+    #[test]
+    fn forward_pass_visits_every_point() {
+        let p: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let instrs: Vec<&Instruction> = p.iter().collect();
+        // A toy gen-only analysis: accumulate every defined gpr.
+        let ann = fixpoint(
+            &instrs,
+            Direction::Forward,
+            &LocSet::new(),
+            |_, instr, incoming| {
+                let mut out = incoming.clone();
+                for r in instr.gpr_defs() {
+                    out.gprs.insert(r.parent());
+                }
+                out
+            },
+        );
+        assert!(ann.entry().is_empty());
+        assert!(ann.after(0).gprs.contains(&Gpr::Rax));
+        assert_eq!(ann.facts().len(), 3);
+    }
+
+    #[test]
+    fn backward_boundary_seeds_exit() {
+        let p: Program = "movq rdi, rax".parse().unwrap();
+        let instrs: Vec<&Instruction> = p.iter().collect();
+        let live_out = LocSet::from_gprs([Gpr::Rax]);
+        let ann = fixpoint(&instrs, Direction::Backward, &live_out, |_, _, incoming| {
+            incoming.clone()
+        });
+        assert_eq!(ann.exit(), &live_out);
+        assert_eq!(ann.entry(), &live_out, "identity transfer propagates");
+    }
+}

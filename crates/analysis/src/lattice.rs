@@ -1,0 +1,66 @@
+//! The fact-domain contract of the fixpoint engine.
+
+use stoke_x86::flow::LocSet;
+
+/// A join-semilattice of dataflow facts.
+///
+/// Implementations provide a least element ([`bottom`](JoinSemiLattice::bottom))
+/// and a [`join`](JoinSemiLattice::join) that computes the least upper
+/// bound in place, reporting whether anything changed — the signal the
+/// fixpoint engine uses to detect convergence.
+pub trait JoinSemiLattice: Clone {
+    /// The least element of the lattice.
+    fn bottom() -> Self;
+
+    /// Join `other` into `self` (least upper bound). Returns `true` if
+    /// `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+impl JoinSemiLattice for LocSet {
+    fn bottom() -> LocSet {
+        LocSet::new()
+    }
+
+    fn join(&mut self, other: &LocSet) -> bool {
+        let before = self.len();
+        self.union_with(other);
+        self.len() != before
+    }
+}
+
+impl JoinSemiLattice for bool {
+    fn bottom() -> bool {
+        false
+    }
+
+    fn join(&mut self, other: &bool) -> bool {
+        let changed = !*self && *other;
+        *self |= *other;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoke_x86::Gpr;
+
+    #[test]
+    fn locset_join_reports_change() {
+        let mut a = LocSet::from_gprs([Gpr::Rax]);
+        let b = LocSet::from_gprs([Gpr::Rbx]);
+        assert!(a.join(&b));
+        assert!(!a.join(&b), "second join is a no-op");
+        assert!(a.gprs.contains(&Gpr::Rax) && a.gprs.contains(&Gpr::Rbx));
+    }
+
+    #[test]
+    fn bool_is_the_two_point_lattice() {
+        let mut b = bool::bottom();
+        assert!(!b.join(&false));
+        assert!(b.join(&true));
+        assert!(!b.join(&true));
+        assert!(b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Backward liveness through the fixpoint engine, and the dead-code
+//! report built on it.
+
+use crate::defuse::DefUse;
+use crate::engine::{fixpoint, Annotations, Direction};
+use stoke_x86::flow::LocSet;
+use stoke_x86::Instruction;
+
+/// Backward liveness over a straight-line instruction sequence.
+///
+/// The returned annotations hold, for each program point, the set of
+/// locations whose current values may still be observed: the fact before
+/// instruction `i` is its live-in set, and the exit fact equals
+/// `live_out`. This is the same analysis as [`stoke_x86::flow::liveness`],
+/// expressed through the generic engine (and pinned to it by a test).
+pub fn liveness(instrs: &[&Instruction], live_out: &LocSet) -> Annotations<LocSet> {
+    fixpoint(
+        instrs,
+        Direction::Backward,
+        live_out,
+        |_, instr, live_after| {
+            let du = DefUse::of_instruction(instr);
+            let mut live = live_after.clone();
+            for g in &du.defs.gprs {
+                live.gprs.remove(g);
+            }
+            for x in &du.defs.xmms {
+                live.xmms.remove(x);
+            }
+            for f in &du.defs.flags {
+                live.flags.remove(f);
+            }
+            live.union_with(&du.uses);
+            live
+        },
+    )
+}
+
+/// Instruction indices whose results cannot reach the live-out interface.
+///
+/// Stores are always considered observable (the sandbox memory image is
+/// compared by the cost function), and only instructions that write a
+/// destination can be dead. Agrees with
+/// [`stoke_x86::flow::dead_instructions`] by construction.
+pub fn dead_code_report(instrs: &[&Instruction], live_out: &LocSet) -> Vec<usize> {
+    let live = liveness(instrs, live_out);
+    let mut dead = Vec::new();
+    for (i, instr) in instrs.iter().enumerate() {
+        if instr.stores() || !instr.opcode().writes_dst() {
+            continue;
+        }
+        let after = live.after(i);
+        let du = DefUse::of_instruction(instr);
+        let writes_live = du
+            .defs
+            .gprs
+            .iter()
+            .chain(du.partial_defs.gprs.iter())
+            .any(|g| after.gprs.contains(g))
+            || du.defs.xmms.iter().any(|x| after.xmms.contains(x))
+            || du.defs.flags.iter().any(|f| after.flags.contains(f));
+        if !writes_live {
+            dead.push(i);
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoke_x86::{flow, Gpr, Program};
+
+    fn check_against_flow(text: &str, live_out: &LocSet) {
+        let p: Program = text.parse().unwrap();
+        let instrs: Vec<&Instruction> = p.iter().collect();
+        let ours = liveness(&instrs, live_out);
+        let reference = flow::liveness(&p, live_out);
+        assert_eq!(ours.facts(), &reference[..], "liveness mismatch");
+        assert_eq!(
+            dead_code_report(&instrs, live_out),
+            flow::dead_instructions(&p, live_out),
+            "dead-code mismatch"
+        );
+    }
+
+    #[test]
+    fn matches_reference_liveness() {
+        let live_rax = LocSet::from_gprs([Gpr::Rax]);
+        check_against_flow("movq rdi, rax\naddq rsi, rax", &live_rax);
+        check_against_flow("addq rsi, rax\nadcq 0, rdx", &live_rax);
+        check_against_flow("sete dl\nmovq rdi, rbx", &live_rax);
+        check_against_flow(
+            "shlq 32, rcx\nmov edx, edx\nxorq rdx, rcx\nmovq rcx, rax\nmulq rsi",
+            &LocSet::from_gprs([Gpr::Rax, Gpr::Rdx]),
+        );
+    }
+
+    #[test]
+    fn dead_code_found() {
+        let p: Program = "movq rdi, rbx\nmovq rsi, rax".parse().unwrap();
+        let instrs: Vec<&Instruction> = p.iter().collect();
+        assert_eq!(
+            dead_code_report(&instrs, &LocSet::from_gprs([Gpr::Rax])),
+            vec![0]
+        );
+    }
+}

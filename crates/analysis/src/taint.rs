@@ -1,0 +1,178 @@
+//! Forward secret-taint propagation.
+//!
+//! The abstract state tracks which locations may hold secret-derived
+//! values: a [`LocSet`] of tainted registers and flags plus a single
+//! abstract bit for the sandbox memory image (any store of a
+//! secret-derived value taints "memory"; any later load then reads
+//! taint). The single memory bit is a deliberate over-approximation — the
+//! emulator's dynamic oracle tracks tainted bytes precisely, and the
+//! property test at the workspace root checks this analysis
+//! over-approximates every dynamic flow.
+
+use crate::defuse::DefUse;
+use crate::engine::{fixpoint, Annotations, Direction};
+use crate::lattice::JoinSemiLattice;
+use stoke_x86::flow::LocSet;
+use stoke_x86::{AluOp, Instruction, Opcode, Operand};
+
+/// The taint fact at one program point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaintFact {
+    /// Registers and flags that may hold secret-derived values.
+    pub locs: LocSet,
+    /// Whether any memory byte may hold a secret-derived value.
+    pub mem: bool,
+}
+
+impl JoinSemiLattice for TaintFact {
+    fn bottom() -> TaintFact {
+        TaintFact::default()
+    }
+
+    fn join(&mut self, other: &TaintFact) -> bool {
+        let mut changed = self.locs.join(&other.locs);
+        changed |= self.mem.join(&other.mem);
+        changed
+    }
+}
+
+/// Whether the instruction is a zeroing idiom (`xor r, r` / `sub r, r`):
+/// its result is the constant zero, independent of the register's value,
+/// so it launders taint away. The dynamic oracle applies the same rule,
+/// keeping the two aligned.
+pub(crate) fn is_zeroing_idiom(instr: &Instruction) -> bool {
+    if !matches!(
+        instr.opcode(),
+        Opcode::Alu(AluOp::Xor, _) | Opcode::Alu(AluOp::Sub, _)
+    ) {
+        return false;
+    }
+    match instr.operands() {
+        [Operand::Reg(a), Operand::Reg(b)] => a == b,
+        _ => false,
+    }
+}
+
+/// Whether any value the instruction reads is tainted under `fact`.
+pub(crate) fn reads_taint(instr: &Instruction, du: &DefUse, fact: &TaintFact) -> bool {
+    if is_zeroing_idiom(instr) {
+        return false;
+    }
+    du.uses.gprs.iter().any(|g| fact.locs.gprs.contains(g))
+        || du.uses.xmms.iter().any(|x| fact.locs.xmms.contains(x))
+        || du.uses.flags.iter().any(|f| fact.locs.flags.contains(f))
+        || (instr.loads() && fact.mem)
+}
+
+/// Forward taint analysis: which locations may be secret-derived at each
+/// program point, starting from the `secrets` live at entry.
+pub fn taint_analysis(instrs: &[&Instruction], secrets: &LocSet) -> Annotations<TaintFact> {
+    let boundary = TaintFact {
+        locs: secrets.clone(),
+        mem: false,
+    };
+    fixpoint(
+        instrs,
+        Direction::Forward,
+        &boundary,
+        |_, instr, incoming| {
+            let du = DefUse::of_instruction(instr);
+            let tainted = reads_taint(instr, &du, incoming);
+            let mut out = incoming.clone();
+            for g in &du.defs.gprs {
+                if tainted {
+                    out.locs.gprs.insert(*g);
+                } else {
+                    out.locs.gprs.remove(g);
+                }
+            }
+            for g in &du.partial_defs.gprs {
+                // Narrow writes merge into the parent register: old taint
+                // survives in the preserved bits.
+                if tainted {
+                    out.locs.gprs.insert(*g);
+                }
+            }
+            for x in &du.defs.xmms {
+                if tainted {
+                    out.locs.xmms.insert(*x);
+                } else {
+                    out.locs.xmms.remove(x);
+                }
+            }
+            for f in &du.defs.flags {
+                if tainted {
+                    out.locs.flags.insert(*f);
+                } else {
+                    out.locs.flags.remove(f);
+                }
+            }
+            if instr.stores() && tainted {
+                // Weak update: the abstract memory bit never clears.
+                out.mem = true;
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoke_x86::{Flag, Gpr, Program};
+
+    fn analyze(text: &str, secrets: &[Gpr]) -> TaintFact {
+        let p: Program = text.parse().unwrap();
+        let instrs: Vec<&Instruction> = p.iter().collect();
+        taint_analysis(&instrs, &LocSet::from_gprs(secrets.iter().copied()))
+            .exit()
+            .clone()
+    }
+
+    #[test]
+    fn taint_propagates_through_arithmetic() {
+        let t = analyze("movq rdi, rax\naddq rsi, rax", &[Gpr::Rdi]);
+        assert!(t.locs.gprs.contains(&Gpr::Rax));
+        assert!(t.locs.flags.contains(&Flag::Cf), "flags of add are tainted");
+        assert!(!t.locs.gprs.contains(&Gpr::Rsi));
+    }
+
+    #[test]
+    fn overwrite_with_public_clears_taint() {
+        let t = analyze("movq rdi, rax\nmovq rsi, rax", &[Gpr::Rdi]);
+        assert!(!t.locs.gprs.contains(&Gpr::Rax));
+    }
+
+    #[test]
+    fn zeroing_idiom_launders_taint() {
+        let t = analyze("movq rdi, rax\nxorq rax, rax", &[Gpr::Rdi]);
+        assert!(!t.locs.gprs.contains(&Gpr::Rax));
+        assert!(!t.locs.flags.contains(&Flag::Zf));
+    }
+
+    #[test]
+    fn memory_round_trip_carries_taint() {
+        let t = analyze("movq rdi, (rsp)\nmovq (rsp), rax", &[Gpr::Rdi]);
+        assert!(t.mem);
+        assert!(t.locs.gprs.contains(&Gpr::Rax));
+        // Public stores do not clear the abstract bit.
+        let t = analyze(
+            "movq rdi, (rsp)\nmovq rsi, (rsp)\nmovq (rsp), rax",
+            &[Gpr::Rdi],
+        );
+        assert!(t.locs.gprs.contains(&Gpr::Rax), "weak update: taint stays");
+    }
+
+    #[test]
+    fn taint_through_flags_into_cmov() {
+        let t = analyze("testq 1, rdi\ncmovneq rsi, rax", &[Gpr::Rdi]);
+        assert!(t.locs.gprs.contains(&Gpr::Rax));
+    }
+
+    #[test]
+    fn narrow_write_keeps_old_taint() {
+        // sete only writes dl; the tainted upper bits of rdx survive.
+        let t = analyze("movq rdi, rdx\ncmpq rsi, rsi\nsete dl", &[Gpr::Rdi]);
+        assert!(t.locs.gprs.contains(&Gpr::Rdx));
+    }
+}

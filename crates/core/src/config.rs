@@ -5,6 +5,7 @@
 
 use crate::error::ConfigError;
 use crate::model::CostModelSpec;
+use crate::verifier::VerifierSpec;
 use stoke_x86::{Gpr, Opcode};
 
 /// Which register-equality metric the cost function uses (§4.6).
@@ -143,6 +144,16 @@ pub struct Config {
     /// (see [`BackendSpec`]); backends differ only in speed, never in
     /// results.
     pub backend: BackendSpec,
+    /// Which verifier validates surviving candidates (see
+    /// [`VerifierSpec`]): the paper's cascade by default. An explicit
+    /// [`Session::with_verifier`](crate::driver::Session::with_verifier)
+    /// override takes precedence over this field.
+    pub verifier: VerifierSpec,
+    /// Whether to strip statically dead instructions from the final
+    /// reported rewrite (liveness-based, validated by a re-run over the
+    /// test suite). Off by default so that results remain bit-identical
+    /// with earlier releases.
+    pub strip_dead_code: bool,
 }
 
 impl Default for Config {
@@ -201,6 +212,8 @@ impl Default for Config {
                 .collect(),
             cost_model: CostModelSpec::Paper,
             backend: BackendSpec::default(),
+            verifier: VerifierSpec::default(),
+            strip_dead_code: false,
         }
     }
 }
@@ -310,6 +323,14 @@ impl Config {
                 return Err(ConfigError::InvalidCostWeight {
                     field: "correctness",
                     value: correctness,
+                });
+            }
+        }
+        if let CostModelSpec::ConstantTime { penalty } = self.cost_model {
+            if !penalty.is_finite() || penalty < 0.0 {
+                return Err(ConfigError::InvalidCostWeight {
+                    field: "penalty",
+                    value: penalty,
                 });
             }
         }
@@ -425,6 +446,11 @@ impl ConfigBuilder {
         /// Which execution backend evaluates rewrites over the test
         /// suite.
         backend: BackendSpec,
+        /// Which verifier validates surviving candidates.
+        verifier: VerifierSpec,
+        /// Whether to strip statically dead instructions from the final
+        /// reported rewrite.
+        strip_dead_code: bool,
     }
 
     /// Validate every invariant and return the configuration.
@@ -599,6 +625,40 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.backend, BackendSpec::Interp);
+    }
+
+    #[test]
+    fn builder_rejects_bad_constant_time_penalty() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(matches!(
+                Config::builder()
+                    .cost_model(CostModelSpec::ConstantTime { penalty: bad })
+                    .build(),
+                Err(ConfigError::InvalidCostWeight {
+                    field: "penalty",
+                    ..
+                })
+            ));
+        }
+        assert!(Config::builder()
+            .cost_model(CostModelSpec::ConstantTime { penalty: 16.0 })
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn verifier_and_strip_dead_code_default_off() {
+        use crate::verifier::VerifierSpec;
+        let c = Config::default();
+        assert_eq!(c.verifier, VerifierSpec::Cascade);
+        assert!(!c.strip_dead_code);
+        let c = Config::builder()
+            .verifier(VerifierSpec::LeakageCascade)
+            .strip_dead_code(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.verifier, VerifierSpec::LeakageCascade);
+        assert!(c.strip_dead_code);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use crate::mcmc::{Chain, ChainResult, Rewrite};
 use crate::observer::{ChainProgress, NullObserver, Phase, SearchObserver};
 use crate::search::{SearchStats, StokeResult, Verification};
 use crate::testcase::{generate_testcases, TargetSpec, TestSuite};
-use crate::verifier::{Cascade, Symbolic, TestOnly, Verifier, VerifyContext, VerifyStatus};
+use crate::verifier::{
+    Cascade, LeakageCheck, Symbolic, TestOnly, Verifier, VerifierSpec, VerifyContext, VerifyStatus,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -28,6 +30,9 @@ use stoke_x86::Program;
 static NULL_OBSERVER: NullObserver = NullObserver;
 static DEFAULT_VERIFIER: Cascade<Symbolic> = Cascade::new(Symbolic);
 static TEST_ONLY_VERIFIER: TestOnly = TestOnly;
+static SYMBOLIC_VERIFIER: Symbolic = Symbolic;
+static LEAKAGE_VERIFIER: LeakageCheck<Cascade<Symbolic>> =
+    LeakageCheck::new(Cascade::new(Symbolic));
 
 /// A shared cancellation flag: clone it, hand it to another thread, and
 /// [`cancel`](CancelToken::cancel) stops every chain of the session that
@@ -424,9 +429,17 @@ impl Session {
     }
 
     fn verifier(&self) -> &dyn Verifier {
+        // An explicit with_verifier override wins; otherwise the config's
+        // spec selects among the built-ins (or its own custom verifier).
         match &self.verifier {
             Some(v) => v.as_ref(),
-            None => &DEFAULT_VERIFIER,
+            None => match &self.config.verifier {
+                VerifierSpec::Cascade => &DEFAULT_VERIFIER,
+                VerifierSpec::TestOnly => &TEST_ONLY_VERIFIER,
+                VerifierSpec::Symbolic => &SYMBOLIC_VERIFIER,
+                VerifierSpec::LeakageCascade => &LEAKAGE_VERIFIER,
+                VerifierSpec::Custom(v) => v.as_ref(),
+            },
         }
     }
 
@@ -864,6 +877,17 @@ impl TargetRun<'_> {
                 )
             });
 
+        // Optionally strip statically dead instructions from the reported
+        // rewrite (never from a returned target: it is the user's code).
+        let (rewrite, rewrite_cycles) =
+            if self.config.strip_dead_code && verification != Verification::TargetReturned {
+                let stripped = self.strip_dead_code(rewrite);
+                let cycles = timing.cycles(&stripped);
+                (stripped, cycles)
+            } else {
+                (rewrite, rewrite_cycles)
+            };
+
         StokeResult {
             target_latency: self.spec.program.static_latency(),
             rewrite_latency: rewrite.static_latency(),
@@ -872,6 +896,38 @@ impl TargetRun<'_> {
             rewrite,
             verification,
             stats,
+        }
+    }
+
+    /// Remove instructions whose results cannot reach the live-out
+    /// interface, iterating to a fixpoint (removing one instruction can
+    /// kill the last use of another). Stores are never reported dead, so
+    /// stripping cannot change the compared memory image; as a belt the
+    /// stripped program is kept only if it still passes every test case.
+    fn strip_dead_code(&self, program: Program) -> Program {
+        let mut stripped = program.clone();
+        loop {
+            let instrs: Vec<&stoke_x86::Instruction> = stripped.iter().collect();
+            let dead = stoke_analysis::dead_code_report(&instrs, &self.spec.live_out);
+            if dead.is_empty() {
+                break;
+            }
+            stripped = stripped
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dead.contains(i))
+                .map(|(_, instr)| instr.clone())
+                .collect();
+        }
+        if stripped.len() == program.len() {
+            return program;
+        }
+        let mut cost_fn = self.make_cost_fn();
+        let instrs: Vec<_> = stripped.iter().cloned().collect();
+        if cost_fn.eq_prime(&instrs) == 0 {
+            stripped
+        } else {
+            program
         }
     }
 }
@@ -931,6 +987,56 @@ mod tests {
             0,
             "returned rewrite fails fresh test cases"
         );
+    }
+
+    #[test]
+    fn strip_dead_code_removes_transitively_dead_instructions() {
+        let spec = clumsy_add();
+        let config = quick_config();
+        let suite = generate_testcases(&spec, 8, config.seed);
+        let clock = BudgetClock::start(&Budget::unlimited());
+        let run = TargetRun {
+            config: &config,
+            spec: &spec,
+            suite,
+            observer: &NULL_OBSERVER,
+            verifier: &DEFAULT_VERIFIER,
+            clock: &clock,
+            target: 0,
+            warm_start: None,
+            progress_every: 0,
+        };
+        // The rbx tail is dead: the second mov feeds only the third, and
+        // neither reaches rax. Removing the third makes the second dead
+        // too, so the strip must iterate to a fixpoint.
+        let bloated: Program = "
+            movq rdi, rax
+            addq rsi, rax
+            movq rax, rbx
+            addq rdi, rbx
+        "
+        .parse()
+        .unwrap();
+        let minimal: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        assert_eq!(run.strip_dead_code(bloated), minimal);
+        // An already-minimal program comes back untouched.
+        assert_eq!(run.strip_dead_code(minimal.clone()), minimal);
+    }
+
+    #[test]
+    fn strip_dead_code_config_keeps_results_correct_and_no_longer() {
+        let spec = clumsy_add();
+        let plain = Session::new(quick_config()).run(&spec).unwrap();
+        let config = Config {
+            strip_dead_code: true,
+            ..quick_config()
+        };
+        let stripped = Session::new(config).run(&spec).unwrap();
+        assert!(stripped.rewrite.len() <= plain.rewrite.len());
+        let fresh = generate_testcases(&spec, 16, 31337);
+        let mut cf = CostFn::new(quick_config(), fresh, 0);
+        let instrs: Vec<_> = stripped.rewrite.iter().cloned().collect();
+        assert_eq!(cf.eq_prime(&instrs), 0);
     }
 
     #[test]

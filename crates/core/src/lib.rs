@@ -30,6 +30,13 @@
 //! verification substrates live in the companion crates `stoke-emu` and
 //! `stoke-verify`.
 //!
+//! Security-aware search builds on the static analyses of the companion
+//! `stoke-analysis` crate: inputs marked secret
+//! ([`InputSpec::secret`](testcase::InputSpec::secret)) drive the
+//! [`ConstantTimePenalty`] cost model and the [`LeakageCheck`] verifier
+//! ([`VerifierSpec::LeakageCascade`]), which together steer the search
+//! away from rewrites that leak secrets through timing side channels.
+//!
 //! ```
 //! use stoke::{Config, Session, TargetSpec};
 //! use stoke_x86::{Gpr, Program};
@@ -73,8 +80,8 @@ pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, RunRequest, Ses
 pub use error::{ConfigError, StokeError};
 pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
 pub use model::{
-    CorrectnessOnly, Cost, CostModel, CostModelFactory, CostModelSpec, EvalContext, PaperCost,
-    Weighted,
+    ConstantTimePenalty, CorrectnessOnly, Cost, CostModel, CostModelFactory, CostModelSpec,
+    EvalContext, PaperCost, Weighted,
 };
 pub use observer::{
     ChainProgress, CollectingObserver, NullObserver, Phase, SearchEvent, SearchObserver,
@@ -82,4 +89,7 @@ pub use observer::{
 };
 pub use search::{SearchStats, StokeResult, Verification};
 pub use testcase::{generate_testcases, InputKind, InputSpec, TargetSpec, TestSuite, Testcase};
-pub use verifier::{Cascade, Symbolic, TestOnly, Verdict, Verifier, VerifyContext, VerifyStatus};
+pub use verifier::{
+    Cascade, LeakageCheck, Symbolic, TestOnly, Verdict, Verifier, VerifierSpec, VerifyContext,
+    VerifyStatus,
+};

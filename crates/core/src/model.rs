@@ -333,6 +333,89 @@ impl<M: CostModel> CostModel for Weighted<M> {
     }
 }
 
+/// A combinator adding a fixed penalty per constant-time violation of the
+/// rewrite, on top of an inner model's performance term.
+///
+/// Violations are computed by the static taint analysis of
+/// [`stoke_analysis`]: instructions whose memory-operand address, shift
+/// count or division operands derive from an input marked secret
+/// ([`InputSpec::secret`](crate::InputSpec::secret)). With no secret
+/// inputs the combinator is exactly its inner model.
+///
+/// The analysis runs once per proposal on the already-prepared rewrite
+/// (sharing its decoded use lists), so the overhead is a few hundred
+/// nanoseconds — measured by `bench-analysis` in `BENCH_analysis.json`.
+///
+/// ```
+/// use stoke::{Config, CostModelSpec, InputSpec, TargetSpec};
+/// use stoke_analysis::{constant_time_violations, LeakKind};
+/// use stoke_x86::flow::LocSet;
+/// use stoke_x86::{Gpr, Program};
+///
+/// // rax = rsi << (rdi & 32), where rdi holds a secret. The branchless
+/// // target is constant-time; the "obvious" shorter rewrite is not:
+/// let leaky: Program = "movq rdi, rcx\nshlq cl, rax".parse().unwrap();
+/// let secrets = LocSet::from_gprs([Gpr::Rdi]);
+/// let violations = constant_time_violations(leaky.iter(), &secrets);
+/// assert_eq!(violations[0].kind, LeakKind::SecretShiftCount);
+///
+/// // Secrets are annotated on the target's interface, and the penalty is
+/// // selected through the config; each violation then adds 16.0 to the
+/// // rewrite's cost, steering the search toward constant-time code.
+/// let spec = TargetSpec::new(
+///     "movq rsi, rax".parse().unwrap(),
+///     vec![InputSpec::value64(Gpr::Rdi).secret(), InputSpec::value64(Gpr::Rsi)],
+///     LocSet::from_gprs([Gpr::Rax]),
+/// );
+/// assert!(spec.secret_inputs().gprs.contains(&Gpr::Rdi));
+/// let config = Config::builder()
+///     .cost_model(CostModelSpec::ConstantTime { penalty: 16.0 })
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.cost_model.optimization_model().name(), "constant-time");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantTimePenalty<M = PaperCost> {
+    inner: M,
+    penalty: f64,
+}
+
+impl<M: CostModel> ConstantTimePenalty<M> {
+    /// Add `penalty` per constant-time violation to `inner`'s performance
+    /// term. The penalty must be finite and non-negative (enforced by
+    /// [`Config::validate`](crate::config::Config::validate) when selected
+    /// through [`CostModelSpec::ConstantTime`]).
+    pub fn new(inner: M, penalty: f64) -> ConstantTimePenalty<M> {
+        debug_assert!(penalty.is_finite() && penalty >= 0.0);
+        ConstantTimePenalty { inner, penalty }
+    }
+}
+
+impl<M: CostModel> CostModel for ConstantTimePenalty<M> {
+    fn name(&self) -> &'static str {
+        "constant-time"
+    }
+
+    fn perf_term(&mut self, rewrite: &PreparedProgram<'_>, ctx: &mut EvalContext<'_>) -> f64 {
+        let base = self.inner.perf_term(rewrite, ctx);
+        if ctx.suite.secrets.is_empty() {
+            return base;
+        }
+        let violations =
+            stoke_analysis::constant_time_violations(rewrite.instructions(), &ctx.suite.secrets);
+        base + self.penalty * violations.len() as f64
+    }
+
+    fn correctness_term(
+        &mut self,
+        rewrite: &PreparedProgram<'_>,
+        bound: Option<f64>,
+        ctx: &mut EvalContext<'_>,
+    ) -> Option<f64> {
+        self.inner.correctness_term(rewrite, bound, ctx)
+    }
+}
+
 /// Builds fresh [`CostModel`] instances for each chain of a search.
 ///
 /// A search runs several chains in parallel (and a batch runs several
@@ -372,6 +455,14 @@ pub enum CostModelSpec {
         /// Scale of the performance term.
         performance: f64,
     },
+    /// [`ConstantTimePenalty`] over [`PaperCost`] for optimization (and
+    /// plain [`CorrectnessOnly`] for synthesis): each statically detected
+    /// secret-dependent memory address, shift count or division adds
+    /// `penalty` to the cost. The penalty must be finite and non-negative.
+    ConstantTime {
+        /// Cost added per constant-time violation.
+        penalty: f64,
+    },
     /// A third-party model built by the given factory.
     Custom(Arc<dyn CostModelFactory>),
 }
@@ -386,6 +477,9 @@ impl CostModelSpec {
                 correctness,
                 performance,
             } => Box::new(Weighted::new(PaperCost, *correctness, *performance)),
+            CostModelSpec::ConstantTime { penalty } => {
+                Box::new(ConstantTimePenalty::new(PaperCost, *penalty))
+            }
             CostModelSpec::Custom(factory) => factory.optimization_model(),
         }
     }
@@ -393,9 +487,9 @@ impl CostModelSpec {
     /// Build the synthesis-phase model.
     pub fn synthesis_model(&self) -> Box<dyn CostModel> {
         match self {
-            CostModelSpec::Paper | CostModelSpec::CorrectnessOnly => {
-                Box::<CorrectnessOnly>::default()
-            }
+            CostModelSpec::Paper
+            | CostModelSpec::CorrectnessOnly
+            | CostModelSpec::ConstantTime { .. } => Box::<CorrectnessOnly>::default(),
             CostModelSpec::Weighted {
                 correctness,
                 performance,
@@ -422,6 +516,10 @@ impl fmt::Debug for CostModelSpec {
                 .field("correctness", correctness)
                 .field("performance", performance)
                 .finish(),
+            CostModelSpec::ConstantTime { penalty } => f
+                .debug_struct("ConstantTime")
+                .field("penalty", penalty)
+                .finish(),
             CostModelSpec::Custom(_) => write!(f, "Custom(..)"),
         }
     }
@@ -442,6 +540,10 @@ impl PartialEq for CostModelSpec {
                     performance: bp,
                 },
             ) => ac == bc && ap == bp,
+            (
+                CostModelSpec::ConstantTime { penalty: a },
+                CostModelSpec::ConstantTime { penalty: b },
+            ) => a == b,
             // Custom factories are opaque: equal only if they are the same
             // allocation.
             (CostModelSpec::Custom(a), CostModelSpec::Custom(b)) => Arc::ptr_eq(a, b),
@@ -518,6 +620,36 @@ mod tests {
         let res = PaperCost.correctness_term(&prepared, Some(5.0), &mut cf.eval_context());
         assert_eq!(res, None);
         assert_eq!(cf.stats.early_terminations, 1);
+    }
+
+    #[test]
+    fn constant_time_penalty_charges_violations() {
+        use crate::testcase::InputSpec;
+        use stoke_x86::flow::LocSet;
+        let target: Program = "movq rsi, rax\nshlq 2, rax".parse().unwrap();
+        let spec = TargetSpec::new(
+            target.clone(),
+            vec![
+                InputSpec::value64(Gpr::Rdi).secret(),
+                InputSpec::value64(Gpr::Rsi),
+            ],
+            LocSet::from_gprs([Gpr::Rax]),
+        );
+        let suite = generate_testcases(&spec, 4, 1);
+        let mut cf = CostFn::new(Config::quick_test(), suite, target.static_latency());
+        let leaky: Program = "movq rdi, rcx\nmovq rsi, rax\nshlq cl, rax"
+            .parse()
+            .unwrap();
+        let prepared = stoke_emu::PreparedProgram::of_program(&leaky);
+        let base = PaperCost.perf_term(&prepared, &mut cf.eval_context());
+        let penalized =
+            ConstantTimePenalty::new(PaperCost, 16.0).perf_term(&prepared, &mut cf.eval_context());
+        assert_eq!(penalized, base + 16.0, "one violation, one penalty");
+        let clean = stoke_emu::PreparedProgram::of_program(&target);
+        let base = PaperCost.perf_term(&clean, &mut cf.eval_context());
+        let penalized =
+            ConstantTimePenalty::new(PaperCost, 16.0).perf_term(&clean, &mut cf.eval_context());
+        assert_eq!(penalized, base, "constant-time code pays nothing");
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct InputSpec {
     pub reg: Gpr,
     /// How the input is generated.
     pub kind: InputKind,
+    /// Whether this input holds a secret (key material, private data).
+    /// Secret inputs seed the constant-time and relative-leakage analyses
+    /// in `stoke-analysis`; they change nothing unless those checks are
+    /// enabled in the [`Config`](crate::Config).
+    pub secret: bool,
 }
 
 impl InputSpec {
@@ -48,6 +53,7 @@ impl InputSpec {
         InputSpec {
             reg,
             kind: InputKind::Value { mask: u64::MAX },
+            secret: false,
         }
     }
 
@@ -56,6 +62,7 @@ impl InputSpec {
         InputSpec {
             reg,
             kind: InputKind::Value { mask: 0xffff_ffff },
+            secret: false,
         }
     }
 
@@ -64,6 +71,7 @@ impl InputSpec {
         InputSpec {
             reg,
             kind: InputKind::Value { mask },
+            secret: false,
         }
     }
 
@@ -75,6 +83,7 @@ impl InputSpec {
                 len,
                 elem_mask: u64::MAX,
             },
+            secret: false,
         }
     }
 
@@ -83,7 +92,14 @@ impl InputSpec {
         InputSpec {
             reg,
             kind: InputKind::Pointer { len, elem_mask },
+            secret: false,
         }
+    }
+
+    /// Mark this input as secret (builder style).
+    pub fn secret(mut self) -> InputSpec {
+        self.secret = true;
+        self
     }
 }
 
@@ -117,6 +133,12 @@ impl TargetSpec {
             live_out: LocSet::from_gprs(outputs.iter().copied()),
         }
     }
+
+    /// The registers annotated as secret, as an entry [`LocSet`] for the
+    /// taint and leakage analyses. Empty when no input is secret.
+    pub fn secret_inputs(&self) -> LocSet {
+        LocSet::from_gprs(self.inputs.iter().filter(|i| i.secret).map(|i| i.reg))
+    }
 }
 
 /// One test case: an input machine state, plus the target's output state
@@ -140,6 +162,11 @@ pub struct TestSuite {
     /// memory comparison: stack spills are temporaries of the target, not
     /// live memory outputs.
     pub scratch: Option<(u64, u64)>,
+    /// The secret entry locations ([`TargetSpec::secret_inputs`]), carried
+    /// on the suite so cost models can run the constant-time analysis
+    /// without holding a reference to the spec. Empty when nothing is
+    /// secret.
+    pub secrets: LocSet,
 }
 
 impl TestSuite {
@@ -225,6 +252,7 @@ pub fn generate_testcases(spec: &TargetSpec, n: usize, seed: u64) -> TestSuite {
         cases,
         live_out: spec.live_out.clone(),
         scratch: Some((0x7000, 0x1010)),
+        secrets: spec.secret_inputs(),
     }
 }
 

@@ -308,12 +308,177 @@ impl<V: Verifier> Verifier for Cascade<V> {
     }
 }
 
+/// A relative leakage gate in front of an inner verifier: a candidate
+/// that observes secrets through a channel the *target* never used is
+/// refuted before any symbolic work, in the spirit of Spectector's
+/// relative reasoning.
+///
+/// Secrets come from the target's interface annotations
+/// ([`InputSpec::secret`](crate::InputSpec::secret)); with no secret
+/// inputs the gate is exactly its inner verifier. The comparison is by
+/// observation *kind* ([`stoke_analysis::LeakKind`]): a rewrite may keep
+/// the channels the target already leaks through (it can be no worse),
+/// but a new secret-dependent address, shift count or division refutes
+/// it — even if it is functionally equivalent.
+///
+/// ```
+/// use stoke::{
+///     generate_testcases, Cascade, Config, InputSpec, LeakageCheck, NullObserver,
+///     SearchStats, Symbolic, TargetSpec, Verifier, VerifierSpec, VerifyContext,
+///     VerifyStatus,
+/// };
+/// use stoke_x86::flow::LocSet;
+/// use stoke_x86::{Gpr, Program};
+///
+/// // rax = rsi << (rdi & 32), computed branchlessly: the secret in rdi
+/// // never reaches an address, a shift count or a division.
+/// let target: Program = "
+///     movq rsi, rax
+///     movq rsi, rdx
+///     shlq 32, rdx
+///     testq 32, rdi
+///     cmovneq rdx, rax
+/// ".parse().unwrap();
+/// let spec = TargetSpec::new(
+///     target,
+///     vec![
+///         InputSpec::value_masked(Gpr::Rdi, 0x20).secret(),
+///         InputSpec::value64(Gpr::Rsi),
+///     ],
+///     LocSet::from_gprs([Gpr::Rax]),
+/// );
+/// let config = Config::builder().threads(1).build().unwrap();
+/// let mut suite = generate_testcases(&spec, 4, 1);
+/// let mut stats = SearchStats::default();
+/// let observer = NullObserver;
+/// let mut ctx = VerifyContext {
+///     spec: &spec,
+///     suite: &mut suite,
+///     config: &config,
+///     stats: &mut stats,
+///     observer: &observer,
+///     target: 0,
+/// };
+/// // The shorter rewrite shifts by `cl` derived from the secret — a new
+/// // observation channel, refuted without a symbolic query.
+/// let leaky: Program = "movq rdi, rcx\nmovq rsi, rax\nshlq cl, rax".parse().unwrap();
+/// let verifier = LeakageCheck::new(Cascade::new(Symbolic));
+/// assert_eq!(verifier.verify(&leaky, &mut ctx).status, VerifyStatus::Refuted);
+/// assert_eq!(stats.validations, 0);
+///
+/// // The usual route: select it through the config.
+/// let config = Config::builder()
+///     .verifier(VerifierSpec::LeakageCascade)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.verifier.name(), "leakage-cascade");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeakageCheck<V = Cascade<Symbolic>> {
+    inner: V,
+}
+
+impl<V: Verifier> LeakageCheck<V> {
+    /// Gate `inner` behind the relative leakage check.
+    pub const fn new(inner: V) -> LeakageCheck<V> {
+        LeakageCheck { inner }
+    }
+
+    /// The inner verifier.
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+}
+
+impl<V: Verifier> Verifier for LeakageCheck<V> {
+    fn name(&self) -> &'static str {
+        "leakage-cascade"
+    }
+
+    fn verify(&self, candidate: &Program, ctx: &mut VerifyContext<'_>) -> Verdict {
+        let secrets = ctx.spec.secret_inputs();
+        if !secrets.is_empty() {
+            let new_leaks = stoke_analysis::introduces_new_leaks(
+                ctx.spec.program.iter(),
+                candidate.iter(),
+                &secrets,
+            );
+            if !new_leaks.is_empty() {
+                return Verdict::refuted();
+            }
+        }
+        self.inner.verify(candidate, ctx)
+    }
+}
+
+/// Which verifier a search uses when none is installed explicitly with
+/// [`Session::with_verifier`](crate::driver::Session::with_verifier),
+/// selected through [`Config::verifier`](crate::config::Config::verifier).
+#[derive(Clone, Default)]
+pub enum VerifierSpec {
+    /// [`Cascade`] over [`Symbolic`] — the paper's flow and the default.
+    #[default]
+    Cascade,
+    /// [`TestOnly`]: the test suite alone, no symbolic validation.
+    TestOnly,
+    /// [`Symbolic`] without the cascade's pre-test and spurious-cex
+    /// re-test.
+    Symbolic,
+    /// [`LeakageCheck`] over the default cascade: candidates introducing
+    /// new secret observations are refuted before verification.
+    LeakageCascade,
+    /// A third-party verifier, shared across sessions.
+    Custom(std::sync::Arc<dyn Verifier>),
+}
+
+impl VerifierSpec {
+    /// The name of the selected verifier (matching
+    /// [`Verifier::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            VerifierSpec::Cascade => "cascade",
+            VerifierSpec::TestOnly => "test-only",
+            VerifierSpec::Symbolic => "symbolic",
+            VerifierSpec::LeakageCascade => "leakage-cascade",
+            VerifierSpec::Custom(v) => v.name(),
+        }
+    }
+}
+
+impl std::fmt::Debug for VerifierSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifierSpec::Cascade => write!(f, "Cascade"),
+            VerifierSpec::TestOnly => write!(f, "TestOnly"),
+            VerifierSpec::Symbolic => write!(f, "Symbolic"),
+            VerifierSpec::LeakageCascade => write!(f, "LeakageCascade"),
+            VerifierSpec::Custom(v) => write!(f, "Custom({})", v.name()),
+        }
+    }
+}
+
+impl PartialEq for VerifierSpec {
+    fn eq(&self, other: &VerifierSpec) -> bool {
+        match (self, other) {
+            (VerifierSpec::Cascade, VerifierSpec::Cascade) => true,
+            (VerifierSpec::TestOnly, VerifierSpec::TestOnly) => true,
+            (VerifierSpec::Symbolic, VerifierSpec::Symbolic) => true,
+            (VerifierSpec::LeakageCascade, VerifierSpec::LeakageCascade) => true,
+            // Custom verifiers are opaque: equal only if they are the same
+            // allocation.
+            (VerifierSpec::Custom(a), VerifierSpec::Custom(b)) => std::sync::Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Config;
     use crate::observer::NullObserver;
-    use crate::testcase::{generate_testcases, TargetSpec};
+    use crate::testcase::{generate_testcases, InputSpec, TargetSpec};
+    use stoke_x86::flow::LocSet;
     use stoke_x86::Gpr;
 
     fn spec() -> TargetSpec {
@@ -413,5 +578,67 @@ mod tests {
             stats.validations, 0,
             "a test-refuted candidate must not reach the symbolic stage"
         );
+    }
+
+    #[test]
+    fn leakage_check_refutes_new_channels_and_delegates_otherwise() {
+        // rax = rdi + rsi with rdi secret: the target has no secret
+        // observations at all.
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let spec = TargetSpec::new(
+            target,
+            vec![
+                InputSpec::value64(Gpr::Rdi).secret(),
+                InputSpec::value64(Gpr::Rsi),
+            ],
+            LocSet::from_gprs([Gpr::Rax]),
+        );
+        let mut suite = generate_testcases(&spec, 8, 7);
+        assert!(suite.secrets.gprs.contains(&Gpr::Rdi));
+        let config = Config::quick_test();
+        let mut stats = SearchStats::default();
+        let observer = NullObserver;
+        let mut ctx = VerifyContext {
+            spec: &spec,
+            suite: &mut suite,
+            config: &config,
+            stats: &mut stats,
+            observer: &observer,
+            target: 0,
+        };
+        let verifier = LeakageCheck::<Cascade>::default();
+        // Equivalent, and equally observation-free: proven as usual.
+        let clean: Program = "leaq (rdi,rsi,1), rax".parse().unwrap();
+        assert_eq!(
+            verifier.verify(&clean, &mut ctx).status,
+            VerifyStatus::Proven
+        );
+        assert_eq!(ctx.stats.validations, 1);
+        // Dereferences the secret: a new secret-address observation,
+        // refuted before the symbolic stage ever runs.
+        let leaky: Program = "movq rdi, rax\naddq rsi, rax\nmovq (rdi), rcx\nmovq rax, rcx"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            verifier.verify(&leaky, &mut ctx).status,
+            VerifyStatus::Refuted
+        );
+        assert_eq!(ctx.stats.validations, 1, "no symbolic query for the leak");
+    }
+
+    #[test]
+    fn verifier_spec_names_and_equality() {
+        assert_eq!(VerifierSpec::default(), VerifierSpec::Cascade);
+        assert_eq!(VerifierSpec::Cascade.name(), "cascade");
+        assert_eq!(VerifierSpec::TestOnly.name(), "test-only");
+        assert_eq!(VerifierSpec::Symbolic.name(), "symbolic");
+        assert_eq!(VerifierSpec::LeakageCascade.name(), "leakage-cascade");
+        assert_ne!(VerifierSpec::Cascade, VerifierSpec::LeakageCascade);
+        let custom = std::sync::Arc::new(TestOnly);
+        let a = VerifierSpec::Custom(custom.clone());
+        assert_eq!(a, VerifierSpec::Custom(custom));
+        assert_eq!(a.name(), "test-only");
+        assert_ne!(a, VerifierSpec::Custom(std::sync::Arc::new(TestOnly)));
+        assert_eq!(format!("{a:?}"), "Custom(test-only)");
     }
 }

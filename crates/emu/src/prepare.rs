@@ -126,6 +126,26 @@ impl<'a> PreparedProgram<'a> {
         self.latency
     }
 
+    /// The precomputed register uses of instruction `index` (same elements
+    /// and order as [`Instruction::gpr_uses`]). Static analyses can read
+    /// these instead of re-deriving use sets per proposal.
+    pub fn gpr_uses_of(&self, index: usize) -> &[Reg] {
+        let span = self.spans[index].gpr;
+        &self.gpr_uses[span.0 as usize..span.1 as usize]
+    }
+
+    /// The precomputed xmm uses of instruction `index`.
+    pub fn xmm_uses_of(&self, index: usize) -> &[Xmm] {
+        let span = self.spans[index].xmm;
+        &self.xmm_uses[span.0 as usize..span.1 as usize]
+    }
+
+    /// The precomputed flag uses of instruction `index`.
+    pub fn flag_uses_of(&self, index: usize) -> &[Flag] {
+        let span = self.spans[index].flag;
+        &self.flag_uses[span.0 as usize..span.1 as usize]
+    }
+
     /// Run the prepared sequence from `input`, sandboxing all undefined
     /// behaviour exactly as [`run_instrs`](crate::run_instrs) does.
     pub fn run_prepared(&self, input: &MachineState) -> Outcome {

@@ -56,6 +56,12 @@ impl PipelineFingerprint {
         text.push_str(config.cost_model.optimization_model().name());
         text.push_str(";verifier=");
         text.push_str(verifier_name);
+        // The spec Debug forms carry the parameters the names elide: the
+        // constant-time penalty weight, the leakage check, custom stages.
+        text.push_str(&format!(
+            ";costspec={:?};verifierspec={:?};strip={}",
+            config.cost_model, config.verifier, config.strip_dead_code
+        ));
         text.push_str(&format!(
             ";eq={:?};w={},{},{},{};tests={}",
             config.eq_metric, config.wsf, config.wfp, config.wur, config.wm, config.num_testcases
@@ -108,7 +114,7 @@ impl CacheKey {
             .iter()
             .map(|input| {
                 let canon_reg = renaming.apply_gpr(input.reg);
-                let line = match input.kind {
+                let mut line = match input.kind {
                     InputKind::Value { mask } => {
                         format!("in {} val {mask:016x}", canon_reg.name64())
                     }
@@ -116,6 +122,9 @@ impl CacheKey {
                         format!("in {} ptr {len} {elem_mask:016x}", canon_reg.name64())
                     }
                 };
+                if input.secret {
+                    line.push_str(" secret");
+                }
                 (canon_reg.index(), line)
             })
             .collect();
@@ -212,10 +221,13 @@ fn interface_tail(spec: &TargetSpec) -> Vec<Gpr> {
         .iter()
         .enumerate()
         .map(|(pos, input)| {
-            let descr = match input.kind {
+            let mut descr = match input.kind {
                 InputKind::Value { mask } => format!("val {mask:016x}"),
                 InputKind::Pointer { len, elem_mask } => format!("ptr {len} {elem_mask:016x}"),
             };
+            if input.secret {
+                descr.push_str(" secret");
+            }
             (
                 descr,
                 spec.live_out.gprs.contains(&input.reg),
@@ -272,6 +284,68 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_analysis_options() {
+        use stoke::{CostModelSpec, VerifierSpec};
+        let base = Config::default();
+        let fp = |c: &Config| PipelineFingerprint::new(c, "cascade");
+        let ct = Config {
+            cost_model: CostModelSpec::ConstantTime { penalty: 16.0 },
+            ..base.clone()
+        };
+        assert_ne!(fp(&base), fp(&ct), "cost-model spec must be hashed");
+        let ct_other_weight = Config {
+            cost_model: CostModelSpec::ConstantTime { penalty: 8.0 },
+            ..base.clone()
+        };
+        assert_ne!(
+            fp(&ct),
+            fp(&ct_other_weight),
+            "penalty weight must be hashed"
+        );
+        let leakage = Config {
+            verifier: VerifierSpec::LeakageCascade,
+            ..base.clone()
+        };
+        assert_ne!(fp(&base), fp(&leakage), "verifier spec must be hashed");
+        let strip = Config {
+            strip_dead_code: true,
+            ..base.clone()
+        };
+        assert_ne!(fp(&base), fp(&strip), "dead-code stripping must be hashed");
+        // And a fingerprint flip propagates into the full cache key.
+        let spec = TargetSpec::new(
+            "movq rdi, rax".parse().unwrap(),
+            vec![stoke::InputSpec::value64(Gpr::Rdi)],
+            stoke_x86::flow::LocSet::from_gprs([Gpr::Rax]),
+        );
+        assert_ne!(
+            CacheKey::for_spec(&spec, fp(&base)).text(),
+            CacheKey::for_spec(&spec, fp(&leakage)).text(),
+            "flipping the leakage option must change the cache key"
+        );
+    }
+
+    #[test]
+    fn secret_annotation_changes_the_cache_key() {
+        use stoke::InputSpec;
+        use stoke_x86::flow::LocSet;
+        let program: Program = "movq rdi, rax".parse().unwrap();
+        let out = LocSet::from_gprs([Gpr::Rax]);
+        let public = TargetSpec::new(
+            program.clone(),
+            vec![InputSpec::value64(Gpr::Rdi)],
+            out.clone(),
+        );
+        let secret = TargetSpec::new(program, vec![InputSpec::value64(Gpr::Rdi).secret()], out);
+        let fp = PipelineFingerprint::new(&Config::default(), "cascade");
+        assert_ne!(
+            CacheKey::for_spec(&public, fp).text(),
+            CacheKey::for_spec(&secret, fp).text(),
+            "secret annotation must change the cache key"
+        );
     }
 
     #[test]

@@ -441,7 +441,12 @@ impl Service {
     /// [`ServeError::Persist`] if a configured cache file exists but is
     /// corrupt — a damaged cache is rejected, never silently served.
     pub fn start(config: ServeConfig) -> Result<Service, ServeError> {
-        let verifier_name = config.verifier.as_ref().map_or("cascade", |v| v.name());
+        // An explicit verifier object wins; otherwise the search config's
+        // verifier spec (e.g. the leakage cascade) names the stage.
+        let verifier_name = config
+            .verifier
+            .as_ref()
+            .map_or_else(|| config.search.verifier.name(), |v| v.name());
         let fingerprint = PipelineFingerprint::new(&config.search, verifier_name);
         let cache = match &config.cache_path {
             Some(path) if path.exists() => RewriteCache::load(path, config.cache.clone())?,

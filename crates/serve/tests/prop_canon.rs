@@ -60,6 +60,7 @@ fn rename_spec(spec: &TargetSpec, pi: &Renaming) -> TargetSpec {
         .map(|input| InputSpec {
             reg: pi.apply_gpr(input.reg),
             kind: input.kind.clone(),
+            secret: input.secret,
         })
         .collect();
     let outputs = spec.live_out.gprs.iter().map(|g| pi.apply_gpr(*g));

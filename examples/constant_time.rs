@@ -1,0 +1,131 @@
+//! Security-aware search: how the static analyses keep STOKE from
+//! "optimizing" a constant-time kernel into a faster but leaky one.
+//!
+//! ```text
+//! cargo run --release --example constant_time
+//! ```
+//!
+//! The target computes `rax = rsi << (rdi & 0x20)` branchlessly with a
+//! constant shift and a `cmov` — the classic constant-time discipline:
+//! its latency never depends on the secret selector in `rdi`. A plain
+//! STOKE search discovers that `shlq cl, rax` with `cl = rdi` computes
+//! the same function in fewer cycles (the interface masks `rdi` to
+//! `{0, 0x20}`) — and a variable shift whose count is secret is a timing
+//! side channel on many microarchitectures.
+//!
+//! Run once with the paper's cost model, once with the constant-time
+//! penalty and the relative-leakage verifier; assert that the first
+//! rewrite is flagged by the analysis and the second is clean, still
+//! correct, and introduces no observation channel the target lacks.
+//! CI runs this example as a smoke gate, so the asserts are the spec.
+
+use stoke::{Config, CostModelSpec, InputSpec, Session, StokeResult, TargetSpec, VerifierSpec};
+use stoke_analysis::{constant_time_violations, introduces_new_leaks};
+use stoke_x86::flow::LocSet;
+use stoke_x86::opcode::{Cond, ShiftOp};
+use stoke_x86::{Gpr, Opcode, Program, Width};
+
+fn kernel() -> TargetSpec {
+    // rax = rsi << 32 when bit 5 of the (secret) selector is set, else rsi.
+    let target: Program = "
+        movq rsi, rax
+        movq rsi, rdx
+        shlq 32, rdx
+        testq 32, rdi
+        cmovneq rdx, rax
+    "
+    .parse()
+    .expect("target parses");
+    TargetSpec::new(
+        target,
+        vec![
+            InputSpec::value_masked(Gpr::Rdi, 0x20).secret(),
+            InputSpec::value64(Gpr::Rsi),
+        ],
+        LocSet::from_gprs([Gpr::Rax]),
+    )
+}
+
+fn config() -> Config {
+    // A pool focused on the moves the kernel needs keeps the search (and
+    // this CI smoke gate) fast and deterministic; everything else is the
+    // stock pipeline.
+    Config::builder()
+        .ell(8)
+        .num_testcases(16)
+        .threads(1)
+        .synthesis_iterations(30_000)
+        .optimization_iterations(60_000)
+        .opcode_pool(vec![
+            Opcode::Mov(Width::Q),
+            Opcode::Shift(ShiftOp::Shl, Width::Q),
+            Opcode::Test(Width::Q),
+            Opcode::Cmov(Cond::Ne, Width::Q),
+        ])
+        .build()
+        .expect("configuration is valid")
+}
+
+fn run(config: Config, spec: &TargetSpec) -> StokeResult {
+    Session::new(config).run(spec).expect("search completes")
+}
+
+fn check_correct(spec: &TargetSpec, result: &StokeResult) {
+    let fresh = stoke::generate_testcases(spec, 32, 0xC0FFEE);
+    let mut cf = stoke::CostFn::new(config(), fresh, 0);
+    let instrs: Vec<_> = result.rewrite.iter().cloned().collect();
+    assert_eq!(cf.eq_prime(&instrs), 0, "rewrite fails fresh test cases");
+}
+
+fn main() {
+    let spec = kernel();
+    let secrets = spec.secret_inputs();
+    println!("=== target (constant time) ===");
+    print!("{}", spec.program);
+    assert!(
+        constant_time_violations(spec.program.iter(), &secrets).is_empty(),
+        "the target itself must be constant time"
+    );
+
+    // 1. The paper's pipeline: fastest correct-on-the-interface rewrite
+    //    wins, and that rewrite leaks the selector through a variable
+    //    shift count.
+    let plain = run(config(), &spec);
+    println!("\n=== plain PaperCost rewrite ===");
+    print!("{}", plain.rewrite);
+    let violations = constant_time_violations(plain.rewrite.iter(), &secrets);
+    for v in &violations {
+        println!("flagged: instruction {} — {}", v.index, v.kind.describe());
+    }
+    assert!(
+        !violations.is_empty(),
+        "the unconstrained search was expected to find the leaky variable-shift rewrite"
+    );
+    check_correct(&spec, &plain);
+
+    // 2. The security-aware pipeline: the constant-time penalty prices
+    //    the leak into the search, and the leakage verifier rejects any
+    //    candidate introducing an observation kind the target lacks.
+    let mut secured_config = config();
+    secured_config.cost_model = CostModelSpec::ConstantTime { penalty: 16.0 };
+    secured_config.verifier = VerifierSpec::LeakageCascade;
+    secured_config.strip_dead_code = true;
+    let secured = run(secured_config, &spec);
+    println!("\n=== ConstantTimePenalty + LeakageCheck rewrite ===");
+    print!("{}", secured.rewrite);
+    println!("verification: {:?}", secured.verification);
+    assert!(
+        constant_time_violations(secured.rewrite.iter(), &secrets).is_empty(),
+        "the security-aware search returned a rewrite with constant-time violations"
+    );
+    assert!(
+        introduces_new_leaks(spec.program.iter(), secured.rewrite.iter(), &secrets).is_empty(),
+        "the security-aware rewrite introduces a new observation channel"
+    );
+    check_correct(&spec, &secured);
+
+    println!(
+        "\nplain: {} cycles (leaky) | secured: {} cycles (constant time) | target: {} cycles",
+        plain.rewrite_cycles, secured.rewrite_cycles, secured.target_cycles
+    );
+}

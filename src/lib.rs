@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the whole STOKE reproduction workspace.
 pub use stoke;
+pub use stoke_analysis as analysis;
 pub use stoke_emu as emu;
 pub use stoke_ir as ir;
 pub use stoke_serve as serve;

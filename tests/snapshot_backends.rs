@@ -6,7 +6,10 @@
 //! byte-for-byte the pipeline of the previous release, so agreement here
 //! pins the batched default to the historical fixed-seed snapshots.
 
-use stoke_suite::stoke::{BackendSpec, Config, InputSpec, Session, StokeResult, TargetSpec};
+use stoke_suite::stoke::{
+    generate_testcases, BackendSpec, Config, CostFn, CostModelSpec, InputSpec, Session,
+    StokeResult, TargetSpec, VerifierSpec,
+};
 use stoke_suite::workloads::{hackers_delight, Kernel};
 use stoke_suite::x86::Gpr;
 
@@ -19,8 +22,8 @@ fn spec_for(kernel: &Kernel) -> TargetSpec {
     TargetSpec::new(kernel.target_o0(), inputs, kernel.live_out.clone())
 }
 
-fn run_with(backend: BackendSpec, spec: &TargetSpec) -> StokeResult {
-    let config = Config::builder()
+fn base_config(backend: BackendSpec) -> Config {
+    Config::builder()
         .ell(16)
         .num_testcases(8)
         .synthesis_iterations(2_000)
@@ -28,8 +31,13 @@ fn run_with(backend: BackendSpec, spec: &TargetSpec) -> StokeResult {
         .threads(1)
         .backend(backend)
         .build()
-        .expect("valid configuration");
-    Session::new(config).run(spec).expect("search completes")
+        .expect("valid configuration")
+}
+
+fn run_with(backend: BackendSpec, spec: &TargetSpec) -> StokeResult {
+    Session::new(base_config(backend))
+        .run(spec)
+        .expect("search completes")
 }
 
 /// Everything deterministic about a result (wall-clock durations are
@@ -69,6 +77,47 @@ fn batched_backend_reproduces_prepared_results_on_p14() {
     let prepared = run_with(BackendSpec::Prepared, &spec);
     let batched = run_with(BackendSpec::Batched, &spec);
     assert_eq!(snapshot(&batched), snapshot(&prepared));
+}
+
+#[test]
+fn security_analyses_on_secret_free_targets_are_bit_identical() {
+    // Without secret-annotated inputs the constant-time penalty and the
+    // leakage gate are no-ops, so enabling them must not perturb the
+    // fixed-seed p01/p14 snapshots in any way.
+    for kernel in [hackers_delight::p01(), hackers_delight::p14()] {
+        let spec = spec_for(&kernel);
+        let baseline = run_with(BackendSpec::Batched, &spec);
+        let mut config = base_config(BackendSpec::Batched);
+        config.cost_model = CostModelSpec::ConstantTime { penalty: 16.0 };
+        config.verifier = VerifierSpec::LeakageCascade;
+        let secured = Session::new(config).run(&spec).expect("search completes");
+        assert_eq!(snapshot(&secured), snapshot(&baseline));
+    }
+}
+
+#[test]
+fn dead_code_stripping_only_shrinks_and_stays_correct() {
+    for kernel in [hackers_delight::p01(), hackers_delight::p14()] {
+        let spec = spec_for(&kernel);
+        let baseline = run_with(BackendSpec::Batched, &spec);
+        let mut config = base_config(BackendSpec::Batched);
+        config.strip_dead_code = true;
+        let stripped = Session::new(config).run(&spec).expect("search completes");
+        assert!(
+            stripped.rewrite.len() <= baseline.rewrite.len(),
+            "stripping must never lengthen the rewrite"
+        );
+        // The (possibly shortened) rewrite is still correct on fresh
+        // test cases.
+        let fresh = generate_testcases(&spec, 16, 90210);
+        let mut cf = CostFn::new(base_config(BackendSpec::Batched), fresh, 0);
+        let instrs: Vec<_> = stripped.rewrite.iter().cloned().collect();
+        assert_eq!(
+            cf.eq_prime(&instrs),
+            0,
+            "stripped rewrite must stay correct"
+        );
+    }
 }
 
 #[test]
