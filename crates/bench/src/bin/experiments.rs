@@ -75,8 +75,25 @@ impl SearchObserver for StreamingProgress {
     }
 
     fn on_chain_progress(&self, progress: &ChainProgress) {
+        // The incremental-backend counters are cumulative per cost
+        // function and zero on every other backend, so only print them
+        // when they carry signal.
+        let incremental = if progress.checkpoint_restores > 0 {
+            format!(
+                ", {} instrs skipped over {} restores{}",
+                progress.instructions_skipped,
+                progress.checkpoint_restores,
+                if progress.columns_reordered > 0 {
+                    format!(" ({} reorders)", progress.columns_reordered)
+                } else {
+                    String::new()
+                }
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "  [{}] {:?} chain {}: {}/{} proposals, best cost {:.1} (current eq' {:.1} + perf {:.1})",
+            "  [{}] {:?} chain {}: {}/{} proposals, best cost {:.1} (current eq' {:.1} + perf {:.1}){}",
             self.kernel,
             progress.phase,
             progress.chain,
@@ -84,7 +101,8 @@ impl SearchObserver for StreamingProgress {
             progress.iterations,
             progress.best_cost,
             progress.correctness,
-            progress.performance
+            progress.performance,
+            incremental
         );
         self.collected.on_chain_progress(progress);
     }

@@ -23,10 +23,14 @@ pub enum EqMetric {
 /// Which execution backend evaluates candidate rewrites over the test
 /// suite (see the README's "Execution backends" section).
 ///
-/// All three backends share one set of instruction semantics and are
+/// All backends share one set of instruction semantics and are
 /// bit-identical in every observable — final states, fault counters,
 /// cost terms, early-termination decisions, evaluation statistics — so
 /// switching backends never changes a search result, only its speed.
+/// (`Incremental` with a non-zero
+/// [`reorder_interval`](Config::reorder_interval) is the one documented
+/// exception: accept decisions and results stay identical, but the number
+/// of test cases *charged* per bounded evaluation may shrink.)
 ///
 /// ```
 /// use stoke::{BackendSpec, Config};
@@ -38,6 +42,7 @@ pub enum EqMetric {
 ///     .expect("valid configuration");
 /// assert_eq!(config.backend, BackendSpec::Prepared);
 /// assert_eq!("interp".parse(), Ok(BackendSpec::Interp));
+/// assert_eq!("incremental".parse(), Ok(BackendSpec::Incremental));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendSpec {
@@ -55,6 +60,16 @@ pub enum BackendSpec {
     /// per instruction step. The default.
     #[default]
     Batched,
+    /// The batched engine plus prefix checkpointing
+    /// ([`stoke_emu::PrefixCheckpoints`]): the accepted rewrite's batch
+    /// state is snapshotted every
+    /// [`checkpoint_interval`](Config::checkpoint_interval) instructions,
+    /// and a proposal that modifies the rewrite from instruction `f`
+    /// onwards resumes execution from the deepest snapshot at or before
+    /// `f` instead of re-running the unchanged prefix. Fastest inside an
+    /// MCMC chain (where every proposal is a one- or two-slot edit);
+    /// equivalent to `Batched` for hintless evaluations.
+    Incremental,
 }
 
 impl std::str::FromStr for BackendSpec {
@@ -65,6 +80,7 @@ impl std::str::FromStr for BackendSpec {
             "interp" => Ok(BackendSpec::Interp),
             "prepared" => Ok(BackendSpec::Prepared),
             "batched" => Ok(BackendSpec::Batched),
+            "incremental" => Ok(BackendSpec::Incremental),
             _ => Err(ConfigError::UnknownBackend {
                 name: s.to_string(),
             }),
@@ -154,6 +170,24 @@ pub struct Config {
     /// test suite). Off by default so that results remain bit-identical
     /// with earlier releases.
     pub strip_dead_code: bool,
+    /// Snapshot spacing (in instructions) of the
+    /// [`BackendSpec::Incremental`] backend's prefix checkpoints. `0`
+    /// (the default) auto-tunes to ⌊√len⌋ of the evaluated program, the
+    /// classic balance between snapshot cost (∝ len / interval per
+    /// accepted proposal) and wasted re-execution (∝ interval / 2 per
+    /// proposal). Ignored by the other backends.
+    pub checkpoint_interval: usize,
+    /// How often (in bounded evaluations) the incremental backend
+    /// re-sorts its test-case evaluation order most-discriminating-first,
+    /// so the §4.5 early exit trips after fewer cases. `0` (the default)
+    /// keeps the suite order, which keeps
+    /// [`EvalStats::testcases_run`](crate::cost::EvalStats::testcases_run)
+    /// bit-identical to the other backends; any other value preserves
+    /// every accept decision and
+    /// search result (totals and threshold comparisons are
+    /// order-invariant) but may charge fewer test cases per early exit.
+    /// Ignored by the other backends.
+    pub reorder_interval: u64,
 }
 
 impl Default for Config {
@@ -214,6 +248,8 @@ impl Default for Config {
             backend: BackendSpec::default(),
             verifier: VerifierSpec::default(),
             strip_dead_code: false,
+            checkpoint_interval: 0,
+            reorder_interval: 0,
         }
     }
 }
@@ -451,6 +487,12 @@ impl ConfigBuilder {
         /// Whether to strip statically dead instructions from the final
         /// reported rewrite.
         strip_dead_code: bool,
+        /// Snapshot spacing of the incremental backend's prefix
+        /// checkpoints (`0` auto-tunes to ⌊√len⌋).
+        checkpoint_interval: usize,
+        /// How often (in bounded evaluations) the incremental backend
+        /// re-sorts test cases most-discriminating-first (`0` disables).
+        reorder_interval: u64,
     }
 
     /// Validate every invariant and return the configuration.
@@ -614,6 +656,7 @@ mod tests {
         assert_eq!("interp".parse(), Ok(BackendSpec::Interp));
         assert_eq!("prepared".parse(), Ok(BackendSpec::Prepared));
         assert_eq!("batched".parse(), Ok(BackendSpec::Batched));
+        assert_eq!("incremental".parse(), Ok(BackendSpec::Incremental));
         assert_eq!(
             "jit".parse::<BackendSpec>(),
             Err(ConfigError::UnknownBackend {
@@ -625,6 +668,22 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.backend, BackendSpec::Interp);
+    }
+
+    #[test]
+    fn incremental_knobs_default_off_and_build() {
+        let c = Config::default();
+        assert_eq!(c.checkpoint_interval, 0, "0 means auto-tune from length");
+        assert_eq!(c.reorder_interval, 0, "adaptive ordering is opt-in");
+        let c = Config::builder()
+            .backend(BackendSpec::Incremental)
+            .checkpoint_interval(4)
+            .reorder_interval(64)
+            .build()
+            .unwrap();
+        assert_eq!(c.backend, BackendSpec::Incremental);
+        assert_eq!(c.checkpoint_interval, 4);
+        assert_eq!(c.reorder_interval, 64);
     }
 
     #[test]

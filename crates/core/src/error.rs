@@ -139,7 +139,7 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "unknown execution backend `{name}` \
-                     (expected `interp`, `prepared` or `batched`)"
+                     (expected `interp`, `prepared`, `batched` or `incremental`)"
                 )
             }
             ConfigError::InvalidCostWeight { field, value } => {

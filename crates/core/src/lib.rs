@@ -78,7 +78,7 @@ pub use config::{BackendSpec, Config, ConfigBuilder, EqMetric};
 pub use cost::{CaseCost, CostFn, EvalScratch, EvalStats};
 pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, RunRequest, Session};
 pub use error::{ConfigError, StokeError};
-pub use mcmc::{Chain, ChainResult, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
+pub use mcmc::{Chain, ChainResult, EditSpan, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
 pub use model::{
     ConstantTimePenalty, CorrectnessOnly, Cost, CostModel, CostModelFactory, CostModelSpec,
     EvalContext, PaperCost, Weighted,

@@ -135,6 +135,15 @@ pub struct EvalContext<'a> {
     /// Evaluation statistics (evaluations, test cases run, early
     /// terminations) the model must keep up to date.
     pub stats: &'a mut EvalStats,
+    /// One-shot prefix-reuse hint for the incremental backend: `Some(f)`
+    /// promises that the first `f` dense instructions of the rewrite being
+    /// scored are identical to the baseline last committed through
+    /// [`CostFn::commit_baseline`](crate::cost::CostFn::commit_baseline);
+    /// `None` requests a full evaluation. Models that evaluate through the
+    /// configured backend should `take()` it and pass it down (as
+    /// [`PaperCost`] does); every backend other than the incremental one
+    /// ignores it, so forwarding is always safe.
+    pub reuse_prefix: Option<usize>,
 }
 
 /// A pluggable scoring policy for candidate rewrites.
@@ -232,6 +241,7 @@ impl CostModel for PaperCost {
         bound: Option<f64>,
         ctx: &mut EvalContext<'_>,
     ) -> Option<f64> {
+        let reuse = ctx.reuse_prefix.take();
         eq_prime_backend(
             ctx.config,
             ctx.suite,
@@ -239,6 +249,7 @@ impl CostModel for PaperCost {
             ctx.scratch,
             ctx.stats,
             bound,
+            reuse,
         )
         .0
         .map(|eq| eq as f64)

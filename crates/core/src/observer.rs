@@ -43,6 +43,18 @@ pub struct ChainProgress {
     pub performance: f64,
     /// Lowest cost the chain has seen.
     pub best_cost: f64,
+    /// Cumulative instruction steps the incremental backend skipped by
+    /// resuming from prefix checkpoints (see
+    /// [`EvalStats::instructions_skipped`](crate::cost::EvalStats::instructions_skipped));
+    /// 0 for the other backends.
+    pub instructions_skipped: u64,
+    /// Cumulative evaluations served from a prefix checkpoint; 0 for the
+    /// other backends.
+    pub checkpoint_restores: u64,
+    /// Cumulative adaptive test-case reorder passes; 0 unless the
+    /// incremental backend runs with a non-zero
+    /// [`reorder_interval`](crate::config::Config::reorder_interval).
+    pub columns_reordered: u64,
 }
 
 /// The verdict of one symbolic validation query.
@@ -241,6 +253,9 @@ mod tests {
                             correctness: 0.0,
                             performance: 0.0,
                             best_cost: 0.0,
+                            instructions_skipped: 0,
+                            checkpoint_restores: 0,
+                            columns_reordered: 0,
                         });
                     }
                 });

@@ -46,6 +46,7 @@ impl PipelineFingerprint {
             BackendSpec::Interp => "interp",
             BackendSpec::Prepared => "prepared",
             BackendSpec::Batched => "batched",
+            BackendSpec::Incremental => "incremental",
         };
         let mut text = String::new();
         text.push_str("backend=");
@@ -326,6 +327,37 @@ mod tests {
             CacheKey::for_spec(&spec, fp(&leakage)).text(),
             "flipping the leakage option must change the cache key"
         );
+    }
+
+    #[test]
+    fn fingerprint_separates_every_backend() {
+        // Cached rewrites carry the backend they were searched under;
+        // keys must never alias across backends (in particular not across
+        // `Batched` and the checkpoint-reusing `Incremental`).
+        let fp = |c: &Config| PipelineFingerprint::new(c, "cascade");
+        let configs: Vec<Config> = [
+            BackendSpec::Interp,
+            BackendSpec::Prepared,
+            BackendSpec::Batched,
+            BackendSpec::Incremental,
+        ]
+        .into_iter()
+        .map(|backend| Config {
+            backend,
+            ..Config::default()
+        })
+        .collect();
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                assert_ne!(
+                    fp(a),
+                    fp(b),
+                    "backends {:?} and {:?} must not share a fingerprint",
+                    a.backend,
+                    b.backend
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Property tests for the incremental prefix-checkpoint backend: over
+//! random programs (drawn from the MCMC proposal distribution), random
+//! machine states, and random accept/reject edit interleavings, resuming
+//! from a checkpoint must be bit-identical to full batched re-execution —
+//! per-column final states and faults at the engine layer, and `eq'`
+//! totals, §4.5 early-exit decisions and statistics at the cost-function
+//! layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stoke_suite::emu::{
+    BatchState, BatchedProgram, MachineState, PrefixCheckpoints, PreparedProgram,
+};
+use stoke_suite::stoke::{generate_testcases, BackendSpec, Config, CostFn, Proposer, TargetSpec};
+use stoke_suite::x86::{Flag, Gpr, Instruction, Program, Xmm};
+
+/// A random machine state, mirroring `prop_batched`: a random subset of
+/// registers and flags defined, one small valid memory region with random
+/// contents, and a stack pointer inside it.
+fn random_state(seed: u64) -> MachineState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = MachineState::new();
+    for g in Gpr::ALL {
+        if rng.gen_bool(0.7) {
+            let value = if rng.gen_bool(0.5) {
+                rng.gen::<u64>() & 0xffff
+            } else {
+                rng.gen::<u64>()
+            };
+            state.set_gpr64(g, value);
+        }
+    }
+    for x in Xmm::ALL {
+        if rng.gen_bool(0.3) {
+            state.write_xmm(x, [rng.gen(), rng.gen()]);
+        }
+    }
+    for f in Flag::ALL {
+        if rng.gen_bool(0.5) {
+            state.write_flag(f, rng.gen_bool(0.5));
+        }
+    }
+    state.set_gpr64(Gpr::Rsp, 0x8000);
+    state.memory.mark_valid(0x7000, 0x1010);
+    let mut addr = 0x7000u64;
+    while addr < 0x7040 {
+        state.memory.poke_wide(addr, rng.gen::<u64>(), 8);
+        addr += 8;
+    }
+    state
+}
+
+/// A random instruction sequence drawn from the proposal distribution
+/// `q(·)` of §4.3 over the full opcode universe.
+fn random_program(seed: u64, len: usize) -> Vec<Instruction> {
+    let config = Config {
+        ell: len,
+        ..Config::default()
+    };
+    let mut proposer = Proposer::new(config, seed);
+    (0..len).map(|_| proposer.random_instruction()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Engine layer: a random sequence of single-slot edits with random
+    /// accept/reject outcomes, each evaluated by restoring from the
+    /// nearest checkpoint and executing only the suffix, always produces
+    /// the same per-column states and faults as running the candidate
+    /// from scratch. Rejected candidates leave the checkpoints untouched;
+    /// accepted ones re-anchor them with `commit`.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_full_run(
+        program_seed in any::<u64>(),
+        state_seed in any::<u64>(),
+        edit_seed in any::<u64>(),
+        len in 2usize..16,
+        n in 1usize..5,
+        interval in 1usize..6,
+    ) {
+        let mut current = random_program(program_seed, len);
+        let states: Vec<MachineState> = (0..n as u64)
+            .map(|i| random_state(state_seed.wrapping_add(i)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(edit_seed);
+        let mut proposer = Proposer::new(
+            Config { ell: len, ..Config::default() },
+            edit_seed ^ 0x5eed,
+        );
+        let mut batch = BatchState::default();
+        let mut ckpt = PrefixCheckpoints::new();
+        {
+            let prepared = PreparedProgram::new(&current);
+            let prog = BatchedProgram::new(&prepared);
+            ckpt.commit(&prog, &mut batch, states.iter(), 0, interval);
+        }
+        prop_assert!(!ckpt.is_empty(), "the initial commit must snapshot");
+        for step in 0..12usize {
+            let f = rng.gen_range(0..len);
+            let accept = rng.gen_bool(0.5);
+            let mut candidate = current.clone();
+            candidate[f] = proposer.random_instruction();
+            {
+                let prepared = PreparedProgram::new(&candidate);
+                let prog = BatchedProgram::new(&prepared);
+                // The first f instructions are unchanged, so any
+                // checkpoint at or before f is a valid resume point.
+                let resume = match ckpt.restore(&mut batch, f) {
+                    Some(pos) => pos,
+                    None => {
+                        batch.reload(states.iter());
+                        0
+                    }
+                };
+                prop_assert!(resume <= f, "resumed past the first edit");
+                prog.run_lockstep_with_from(&mut batch, resume, |_| true);
+                let full = prog.run_batch(&states);
+                for (col, outcome) in full.iter().enumerate().take(n) {
+                    prop_assert_eq!(
+                        &batch.column_state(col),
+                        &outcome.state,
+                        "step {} column {} state diverges",
+                        step,
+                        col
+                    );
+                    prop_assert_eq!(
+                        batch.faults(col),
+                        outcome.faults,
+                        "step {} column {} faults diverge",
+                        step,
+                        col
+                    );
+                }
+                if accept {
+                    ckpt.commit(&prog, &mut batch, states.iter(), f, interval);
+                }
+            }
+            if accept {
+                current = candidate;
+            }
+        }
+    }
+
+    /// Cost-function layer: replaying one random edit sequence through a
+    /// `Batched` and an `Incremental` cost function (the latter driven by
+    /// the chain's hint/commit protocol) yields identical `eq'` totals,
+    /// identical §4.5 early-exit decisions, identical evaluated-case
+    /// counts, and identical shared statistics at every step.
+    #[test]
+    fn incremental_cost_fn_matches_batched(
+        program_seed in any::<u64>(),
+        suite_seed in any::<u64>(),
+        edit_seed in any::<u64>(),
+        n in 1usize..6,
+        interval in 0usize..5,
+        reorder in prop_oneof![Just(0u64), Just(3u64)],
+    ) {
+        let len = 8usize;
+        let target: Program = "movq rdi, rax\naddq rsi, rax".parse().unwrap();
+        let spec = TargetSpec::with_gprs(target.clone(), &[Gpr::Rdi, Gpr::Rsi], &[Gpr::Rax]);
+        let suite = generate_testcases(&spec, n, suite_seed);
+        let latency = target.static_latency();
+        let mut batched = CostFn::new(
+            Config { backend: BackendSpec::Batched, ..Config::quick_test() },
+            suite.clone(),
+            latency,
+        );
+        let mut incremental = CostFn::new(
+            Config {
+                backend: BackendSpec::Incremental,
+                checkpoint_interval: interval,
+                reorder_interval: reorder,
+                ..Config::quick_test()
+            },
+            suite,
+            latency,
+        );
+        let mut current = random_program(program_seed, len);
+        {
+            let prepared = PreparedProgram::new(&current);
+            incremental.commit_baseline(&prepared, 0);
+        }
+        let mut rng = StdRng::seed_from_u64(edit_seed);
+        let mut proposer = Proposer::new(
+            Config { ell: len, ..Config::default() },
+            edit_seed ^ 0x5eed,
+        );
+        for step in 0..10usize {
+            let f = rng.gen_range(0..len);
+            let mut candidate = current.clone();
+            candidate[f] = proposer.random_instruction();
+            let bound = match rng.gen_range(0u8..4) {
+                0 => None,
+                1 => Some(0.0),
+                2 => Some(rng.gen_range(0u64..200) as f64),
+                _ => Some(1e18),
+            };
+            incremental.set_reuse_prefix(Some(f));
+            let (ri, ei) = match bound {
+                None => (Some(incremental.eq_prime(&candidate)), n),
+                Some(b) => incremental.eq_prime_bounded(&candidate, b),
+            };
+            let (rb, eb) = match bound {
+                None => (Some(batched.eq_prime(&candidate)), n),
+                Some(b) => batched.eq_prime_bounded(&candidate, b),
+            };
+            prop_assert_eq!(ri, rb, "step {} eq' diverges (bound {:?})", step, bound);
+            prop_assert_eq!(
+                incremental.stats.evaluations, batched.stats.evaluations,
+                "step {} evaluation counts diverge", step
+            );
+            prop_assert_eq!(
+                incremental.stats.early_terminations, batched.stats.early_terminations,
+                "step {} early-exit decisions diverge", step
+            );
+            if reorder == 0 {
+                // With the suite-order walk the incremental backend is
+                // bit-identical including where the early exit fires.
+                prop_assert_eq!(ei, eb, "step {} evaluated counts diverge", step);
+                prop_assert_eq!(
+                    incremental.stats.testcases_run, batched.stats.testcases_run,
+                    "step {} testcases_run diverges", step
+                );
+            }
+            if ri.is_some() && rng.gen_bool(0.5) {
+                current = candidate;
+                let prepared = PreparedProgram::new(&current);
+                incremental.commit_baseline(&prepared, f);
+            }
+        }
+    }
+}

@@ -4,7 +4,9 @@
 //! — rewrite, latencies, timing-model cycles, verification status, and
 //! every deterministic statistic — bit-for-bit. The `Prepared` arm is
 //! byte-for-byte the pipeline of the previous release, so agreement here
-//! pins the batched default to the historical fixed-seed snapshots.
+//! pins the batched default to the historical fixed-seed snapshots. The
+//! `Incremental` backend (prefix-checkpoint reuse over the batched
+//! engine) is pinned to `Batched` the same way.
 
 use stoke_suite::stoke::{
     generate_testcases, BackendSpec, Config, CostFn, CostModelSpec, InputSpec, Session,
@@ -77,6 +79,69 @@ fn batched_backend_reproduces_prepared_results_on_p14() {
     let prepared = run_with(BackendSpec::Prepared, &spec);
     let batched = run_with(BackendSpec::Batched, &spec);
     assert_eq!(snapshot(&batched), snapshot(&prepared));
+}
+
+#[test]
+fn incremental_backend_reproduces_batched_results_on_p01() {
+    // The incremental backend replays prefix checkpoints instead of
+    // re-executing unchanged instructions; with the default configuration
+    // (no adaptive reordering) every observable of the full pipeline must
+    // stay bit-identical to the batched run.
+    let spec = spec_for(&hackers_delight::p01());
+    let batched = run_with(BackendSpec::Batched, &spec);
+    let incremental = run_with(BackendSpec::Incremental, &spec);
+    assert_eq!(snapshot(&incremental), snapshot(&batched));
+}
+
+#[test]
+fn incremental_backend_reproduces_batched_results_on_p14() {
+    let spec = spec_for(&hackers_delight::p14());
+    let batched = run_with(BackendSpec::Batched, &spec);
+    let incremental = run_with(BackendSpec::Incremental, &spec);
+    assert_eq!(snapshot(&incremental), snapshot(&batched));
+}
+
+#[test]
+fn checkpoint_interval_choice_never_changes_results() {
+    // The checkpoint interval is a pure time/space trade-off: any value
+    // (including the auto-tuned default) must reproduce the same run.
+    let spec = spec_for(&hackers_delight::p01());
+    let auto = run_with(BackendSpec::Incremental, &spec);
+    for interval in [1, 3, 64] {
+        let mut config = base_config(BackendSpec::Incremental);
+        config.checkpoint_interval = interval;
+        let tuned = Session::new(config).run(&spec).expect("search completes");
+        assert_eq!(
+            snapshot(&tuned),
+            snapshot(&auto),
+            "checkpoint_interval={interval} changed the trajectory"
+        );
+    }
+}
+
+/// [`snapshot`] minus `testcases_run` — the one field adaptive test-case
+/// ordering is allowed to change (the §4.5 decision is order-invariant,
+/// but *where* the early exit fires is not).
+fn snapshot_modulo_testcases(r: &StokeResult) -> String {
+    snapshot(r)
+        .split_whitespace()
+        .filter(|field| !field.starts_with("testcases_run="))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn adaptive_ordering_changes_nothing_but_testcases_run() {
+    let spec = spec_for(&hackers_delight::p01());
+    let baseline = run_with(BackendSpec::Incremental, &spec);
+    let mut config = base_config(BackendSpec::Incremental);
+    config.reorder_interval = 32;
+    let reordered = Session::new(config).run(&spec).expect("search completes");
+    assert_eq!(
+        snapshot_modulo_testcases(&reordered),
+        snapshot_modulo_testcases(&baseline),
+        "adaptive ordering must preserve the search trajectory"
+    );
 }
 
 #[test]
