@@ -1,0 +1,142 @@
+//! Regenerates `BENCH_obs.json`: the per-proposal overhead of attaching
+//! the observability layer — [`stoke::MetricsObserver`] over a
+//! [`stoke_obs::MetricsRegistry`] plus an in-memory trace ring — to a
+//! fixed-seed MCMC replay of the Montgomery-multiplication kernel,
+//! compared against the same replay under the [`stoke::NullObserver`].
+//!
+//! The replay doubles as the determinism check: both arms must produce
+//! bit-identical chain results (proposals, acceptances, per-move counts,
+//! best cost), proving the instrumentation changes zero search decisions.
+//! The run aborts if they diverge.
+//!
+//! ```text
+//! cargo run --release -p stoke-bench --bin bench-obs -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks iterations and sample counts to a CI smoke size and
+//! relaxes the overhead gate (tiny samples are noisy); the full run
+//! enforces the <5% observer-overhead budget recorded in the output
+//! (default `BENCH_obs.json` in the current directory).
+
+use std::sync::Arc;
+use std::time::Instant;
+use stoke::{
+    generate_testcases, Chain, ChainControl, ChainResult, CostFn, MetricsObserver, NullObserver,
+    Phase, SearchObserver,
+};
+use stoke_bench::{spec_for, sweep_config};
+use stoke_obs::{MetricsRegistry, RingSink};
+use stoke_workloads::kernels;
+
+const SEED: u64 = 7;
+const PROGRESS_EVERY: u64 = 512;
+
+/// The decision-relevant digest of one chain replay. Two arms that agree
+/// on every field made exactly the same accept/reject choices.
+#[derive(PartialEq, Debug)]
+struct Digest {
+    proposals: u64,
+    accepted: u64,
+    best_cost_bits: u64,
+    moves: stoke::MoveStats,
+}
+
+fn replay(iterations: u64, observer: &dyn SearchObserver) -> (Digest, f64) {
+    let kernel = kernels::montgomery();
+    let spec = spec_for(&kernel);
+    let config = sweep_config(iterations, 1);
+    let suite = generate_testcases(&spec, config.num_testcases, config.seed);
+    let mut cost = CostFn::new(config, suite, spec.program.static_latency());
+    let mut chain = Chain::new(&mut cost, SEED, false);
+    let start = chain.proposer_mut().random_rewrite();
+    let ctrl = ChainControl::new(Phase::Synthesis, 0, observer).with_progress_every(PROGRESS_EVERY);
+    let t0 = Instant::now();
+    let result: ChainResult = chain.run_controlled(start, iterations, &ctrl);
+    let ns_per_proposal = t0.elapsed().as_nanos() as f64 / result.proposals.max(1) as f64;
+    (
+        Digest {
+            proposals: result.proposals,
+            accepted: result.accepted,
+            best_cost_bits: result.best_cost.to_bits(),
+            moves: result.moves,
+        },
+        ns_per_proposal,
+    )
+}
+
+fn median(mut timings: Vec<f64>) -> f64 {
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let (iterations, samples) = if quick { (5_000, 3) } else { (60_000, 9) };
+
+    let registry = MetricsRegistry::new();
+    let ring = Arc::new(RingSink::new(64 * 1024));
+    let instrumented = MetricsObserver::new(&registry).with_trace(ring.clone());
+
+    // Warm-up pass per arm, which also pins the digests.
+    eprintln!("replaying montgomery chain ({iterations} proposals), {samples} samples per arm...");
+    let (base_digest, _) = replay(iterations, &NullObserver);
+    let (obs_digest, _) = replay(iterations, &instrumented);
+    assert_eq!(
+        obs_digest, base_digest,
+        "instrumented replay must be bit-identical to the baseline"
+    );
+
+    // Samples alternate arms so slow thermal/scheduler drift hits both
+    // medians equally instead of biasing whichever arm ran last.
+    let mut base_timings = Vec::with_capacity(samples);
+    let mut obs_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (digest, ns) = replay(iterations, &NullObserver);
+        assert_eq!(digest, base_digest, "fixed-seed replay must repeat");
+        base_timings.push(ns);
+        let (digest, ns) = replay(iterations, &instrumented);
+        assert_eq!(digest, base_digest, "fixed-seed replay must repeat");
+        obs_timings.push(ns);
+    }
+    let base_ns = median(base_timings);
+    let obs_ns = median(obs_timings);
+    eprintln!(
+        "digests identical: {} proposals, {} accepted, best cost bits {:#x}",
+        base_digest.proposals, base_digest.accepted, base_digest.best_cost_bits
+    );
+
+    let overhead_pct = 100.0 * (obs_ns - base_ns) / base_ns;
+    eprintln!(
+        "baseline {base_ns:.1} ns/proposal, instrumented {obs_ns:.1} ns/proposal \
+         ({overhead_pct:+.2}% overhead)"
+    );
+    // The full run enforces the documented <5% budget; quick CI runs use
+    // a loose gate because 3 small samples carry scheduler noise.
+    let limit = if quick { 50.0 } else { 5.0 };
+    assert!(
+        overhead_pct < limit,
+        "observer overhead {overhead_pct:.2}% exceeds the {limit}% budget"
+    );
+
+    let trace_records = ring.records().len() + ring.dropped() as usize;
+    let json = format!(
+        "{{\n  \"description\": \"per-proposal overhead of the metrics+trace observer on a \
+         fixed-seed montgomery chain replay vs NullObserver; both arms bit-identical; \
+         regenerate with: cargo run --release -p stoke-bench --bin bench-obs\",\n  \
+         \"quick\": {quick},\n  \"iterations\": {iterations},\n  \"samples\": {samples},\n  \
+         \"proposals\": {},\n  \"baseline_ns_per_proposal\": {base_ns:.1},\n  \
+         \"instrumented_ns_per_proposal\": {obs_ns:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"overhead_budget_pct\": 5.0,\n  \
+         \"digest_identical\": true,\n  \"trace_records\": {trace_records}\n}}\n",
+        base_digest.proposals
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+}

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p stoke-bench --bin experiments -- <figure> [iterations]
+//! cargo run --release -p stoke-bench --bin experiments -- fig10 2000 \
+//!     --metrics --trace results/sweep.jsonl
 //! ```
 //!
 //! `<figure>` is one of `fig01`, `fig02`, `fig03`, `fig05`, `fig06`,
@@ -10,17 +12,24 @@
 //! `results/`. Budgets are scaled down from the paper's 30-minute,
 //! 40-machine cluster runs; pass a larger iteration count for closer
 //! reproduction.
+//!
+//! `--metrics` attaches a fresh [`stoke_obs::MetricsRegistry`] to every
+//! kernel of the fig10 sweep and emits a per-kernel search-diagnostics
+//! report (`results/obs_report.md` + `results/obs_report.json`).
+//! `--trace <path>` streams every sweep session's structured span/event
+//! records to one JSONL file.
 
 use std::fs;
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use stoke::{
-    generate_testcases, Chain, ChainProgress, CollectingObserver, Config, CostFn, EqMetric, Phase,
-    Rewrite, SearchEvent, SearchObserver, ValidationVerdict,
+    generate_testcases, Chain, ChainProgress, CollectingObserver, Config, CostFn, EqMetric,
+    MoveStats, Phase, Rewrite, SearchEvent, SearchObserver, StokeResult, ValidationVerdict,
 };
-use stoke_bench::{run_kernel_observed, spec_for, sweep_config};
+use stoke_bench::{run_kernel_instrumented, spec_for, sweep_config};
 use stoke_emu::{run as emulate, TimingModel};
+use stoke_obs::{JsonlSink, MetricsRegistry, TraceSink};
 use stoke_verify::Validator;
 use stoke_workloads::{all_kernels, hackers_delight, kernels};
 use stoke_x86::Program;
@@ -34,15 +43,23 @@ struct StreamingProgress {
 }
 
 impl StreamingProgress {
+    /// Cap on retained events: each run's summary only counts event
+    /// kinds, so old events are evicted (and counted) instead of letting
+    /// a long sweep grow the buffer without bound.
+    const EVENT_CAPACITY: usize = 4096;
+
     fn new(kernel: &str) -> StreamingProgress {
         StreamingProgress {
             kernel: kernel.to_string(),
-            collected: CollectingObserver::new(),
+            collected: CollectingObserver::with_capacity(Self::EVENT_CAPACITY),
         }
     }
 
     /// One line summarizing the collected events of the finished run.
+    /// Draining (rather than cloning) the buffer keeps the progress loop
+    /// O(events) overall instead of O(events²).
     fn summary(&self) -> String {
+        let dropped = self.collected.dropped();
         let events = self.collected.drain();
         let phases = events
             .iter()
@@ -64,7 +81,12 @@ impl StreamingProgress {
                 )
             })
             .count();
-        format!("{phases} phases, {candidates} candidates re-ranked, {proven} proven")
+        let tail = if dropped > 0 {
+            format!(" ({dropped} early events evicted)")
+        } else {
+            String::new()
+        };
+        format!("{phases} phases, {candidates} candidates re-ranked, {proven} proven{tail}")
     }
 }
 
@@ -355,13 +377,30 @@ fn fig08(iterations: u64) {
     );
 }
 
+/// Observability options threaded through the fig10 sweep.
+struct ObsMode {
+    /// Attach a fresh registry per kernel and emit `results/obs_report.*`.
+    metrics: bool,
+    /// Stream every sweep session's trace records to one JSONL sink.
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+/// One kernel's worth of search diagnostics for the `--metrics` report.
+struct ObsRow {
+    name: String,
+    speedup: f64,
+    result: StokeResult,
+    snapshot: stoke_obs::Snapshot,
+}
+
 /// Figure 10 and Figure 12: the full kernel sweep (speedups and runtimes).
-fn fig10(iterations: u64, threads: usize) {
+fn fig10(iterations: u64, threads: usize, obs: &ObsMode) {
     println!("== Figure 10 / Figure 12: speedups over llvm -O0 and search runtimes ==");
     let mut csv = results_file("fig10_speedups.csv");
     writeln!(
         csv,
-        "kernel,star,o2_speedup,o3_speedup,stoke_speedup,synthesis_s,optimization_s,verified"
+        "kernel,star,o2_speedup,o3_speedup,stoke_speedup,synthesis_s,optimization_s,verified,\
+         opcode_accept,operand_accept,swap_accept,instruction_accept"
     )
     .unwrap();
     let t = TimingModel::default();
@@ -369,6 +408,7 @@ fn fig10(iterations: u64, threads: usize) {
         "{:<8}{:>6}{:>10}{:>10}{:>10}{:>12}{:>12}  verified",
         "kernel", "star", "icc -O3", "gcc -O3", "STOKE", "synth (s)", "opt (s)"
     );
+    let mut report = Vec::new();
     for kernel in all_kernels() {
         let o0 = t.cycles(&kernel.target_o0()).max(1);
         let o2 = t.cycles(&kernel.baseline_o2()).max(1);
@@ -376,7 +416,19 @@ fn fig10(iterations: u64, threads: usize) {
         // Pipeline events stream to stderr live as the search runs; the
         // collected copy becomes the one-line summary below.
         let observer = Arc::new(StreamingProgress::new(kernel.name));
-        let result = run_kernel_observed(&kernel, iterations, threads, observer.clone());
+        let registry = if obs.metrics {
+            Some(Arc::new(MetricsRegistry::new()))
+        } else {
+            None
+        };
+        let result = run_kernel_instrumented(
+            &kernel,
+            iterations,
+            threads,
+            observer.clone(),
+            registry.clone(),
+            obs.trace.clone(),
+        );
         eprintln!("  [{}] {}", kernel.name, observer.summary());
         let stoke_speedup = o0 as f64 / result.rewrite_cycles.max(1) as f64;
         println!(
@@ -390,9 +442,14 @@ fn fig10(iterations: u64, threads: usize) {
             result.stats.optimization_time.as_secs_f64(),
             result.verification
         );
+        // Per-move acceptance rates: the Figure 10 mixing diagnostics.
+        let rates: Vec<String> = MoveStats::KINDS
+            .iter()
+            .map(|k| format!("{:.4}", result.stats.moves.acceptance_rate(*k)))
+            .collect();
         writeln!(
             csv,
-            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:?}",
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:?},{}",
             kernel.name,
             kernel.star,
             o0 as f64 / o2 as f64,
@@ -400,10 +457,129 @@ fn fig10(iterations: u64, threads: usize) {
             stoke_speedup,
             result.stats.synthesis_time.as_secs_f64(),
             result.stats.optimization_time.as_secs_f64(),
-            result.verification
+            result.verification,
+            rates.join(",")
+        )
+        .unwrap();
+        if let Some(registry) = registry {
+            report.push(ObsRow {
+                name: kernel.name.to_string(),
+                speedup: stoke_speedup,
+                snapshot: registry.snapshot(),
+                result,
+            });
+        }
+    }
+    if obs.metrics {
+        write_obs_report(&report);
+    }
+    if let Some(sink) = &obs.trace {
+        sink.flush();
+    }
+}
+
+/// Emit the per-kernel search-diagnostics report in markdown and JSON.
+fn write_obs_report(rows: &[ObsRow]) {
+    let mut md = results_file("obs_report.md");
+    writeln!(md, "# Kernel sweep search diagnostics\n").unwrap();
+    writeln!(
+        md,
+        "| kernel | proposals | accept % | proposals/s | testcases | early-term % | \
+         validations (proven/refuted) | speedup | verified |"
+    )
+    .unwrap();
+    writeln!(md, "|---|---|---|---|---|---|---|---|---|").unwrap();
+    for row in rows {
+        let stats = &row.result.stats;
+        let snap = &row.snapshot;
+        let proposals = stats.total_proposals();
+        let secs = stats.total_time.as_secs_f64();
+        let evals = snap.counter("stoke_evaluations_total");
+        let early = snap.counter("stoke_early_terminations_total");
+        writeln!(
+            md,
+            "| {} | {} | {:.1} | {:.0} | {} | {:.1} | {}/{} | {:.2}x | {:?} |",
+            row.name,
+            proposals,
+            100.0 * stats.moves.total_accepted() as f64 / proposals.max(1) as f64,
+            proposals as f64 / secs.max(1e-9),
+            snap.counter("stoke_testcases_total"),
+            100.0 * early as f64 / evals.max(1) as f64,
+            snap.counter(r#"stoke_validations_total{verdict="proven"}"#),
+            snap.counter(r#"stoke_validations_total{verdict="refuted"}"#),
+            row.speedup,
+            row.result.verification
         )
         .unwrap();
     }
+    writeln!(md, "\n## Acceptance rate by move kind\n").unwrap();
+    writeln!(md, "| kernel | opcode | operand | swap | instruction |").unwrap();
+    writeln!(md, "|---|---|---|---|---|").unwrap();
+    for row in rows {
+        let cells: Vec<String> = MoveStats::KINDS
+            .iter()
+            .map(|k| {
+                format!(
+                    "{:.1}% ({}/{})",
+                    100.0 * row.result.stats.moves.acceptance_rate(*k),
+                    row.result.stats.moves.accepted(*k),
+                    row.result.stats.moves.proposed(*k)
+                )
+            })
+            .collect();
+        writeln!(md, "| {} | {} |", row.name, cells.join(" | ")).unwrap();
+    }
+
+    let mut json = results_file("obs_report.json");
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let stats = &row.result.stats;
+            let snap = &row.snapshot;
+            let moves: Vec<String> = MoveStats::KINDS
+                .iter()
+                .map(|k| {
+                    format!(
+                        r#"{{"kind":"{:?}","proposed":{},"accepted":{}}}"#,
+                        k,
+                        stats.moves.proposed(*k),
+                        stats.moves.accepted(*k)
+                    )
+                })
+                .collect();
+            format!(
+                concat!(
+                    r#"{{"kernel":"{}","speedup":{:.4},"verified":"{:?}","#,
+                    r#""proposals":{},"accepted":{},"total_s":{:.4},"#,
+                    r#""synthesis_s":{:.4},"optimization_s":{:.4},"#,
+                    r#""testcases":{},"evaluations":{},"early_terminations":{},"#,
+                    r#""instructions_skipped":{},"checkpoint_restores":{},"#,
+                    r#""counterexamples":{},"leakage_rejections":{},"#,
+                    r#""validations_proven":{},"validations_refuted":{},"moves":[{}]}}"#
+                ),
+                row.name,
+                row.speedup,
+                row.result.verification,
+                stats.total_proposals(),
+                stats.moves.total_accepted(),
+                stats.total_time.as_secs_f64(),
+                stats.synthesis_time.as_secs_f64(),
+                stats.optimization_time.as_secs_f64(),
+                snap.counter("stoke_testcases_total"),
+                snap.counter("stoke_evaluations_total"),
+                snap.counter("stoke_early_terminations_total"),
+                snap.counter("stoke_instructions_skipped_total"),
+                snap.counter("stoke_checkpoint_restores_total"),
+                snap.counter("stoke_counterexamples_total"),
+                snap.counter("stoke_leakage_rejections_total"),
+                snap.counter(r#"stoke_validations_total{verdict="proven"}"#),
+                snap.counter(r#"stoke_validations_total{verdict="refuted"}"#),
+                moves.join(",")
+            )
+        })
+        .collect();
+    writeln!(json, "[{}]", entries.join(",\n ")).unwrap();
+    println!("search diagnostics written to results/obs_report.md and results/obs_report.json");
 }
 
 /// Figure 11: the MCMC parameter table.
@@ -442,10 +618,34 @@ fn fig13_14_15() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let iterations: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let mut positional = Vec::new();
+    let mut metrics = false;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            "--trace" => trace_path = Some(args.next().expect("--trace takes a path")),
+            _ => positional.push(arg),
+        }
+    }
+    let which = positional.first().map(String::as_str).unwrap_or("all");
+    let iterations: u64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let threads = 2;
+    let trace: Option<Arc<dyn TraceSink>> = trace_path.map(|path| {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create trace dir");
+            }
+        }
+        let sink = JsonlSink::create(std::path::Path::new(&path), "experiments")
+            .expect("trace file opens");
+        Arc::new(sink) as Arc<dyn TraceSink>
+    });
+    let obs = ObsMode { metrics, trace };
     match which {
         "fig01" => fig01(),
         "fig02" => fig02(),
@@ -453,7 +653,7 @@ fn main() {
         "fig05" => fig05(iterations),
         "fig06" | "fig07" => fig07(iterations),
         "fig08" => fig08(iterations),
-        "fig10" | "fig12" => fig10(iterations, threads),
+        "fig10" | "fig12" => fig10(iterations, threads, &obs),
         "fig11" => fig11(),
         "fig13" | "fig14" | "fig15" => fig13_14_15(),
         "all" => {
@@ -465,7 +665,7 @@ fn main() {
             fig07(iterations);
             fig08(iterations);
             fig13_14_15();
-            fig10(iterations, threads);
+            fig10(iterations, threads, &obs);
         }
         other => {
             eprintln!(

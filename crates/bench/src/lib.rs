@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 use stoke::{Config, InputSpec, SearchObserver, Session, StokeResult, TargetSpec};
+use stoke_obs::{MetricsRegistry, TraceSink};
 use stoke_workloads::{Kernel, ParamKind};
 use stoke_x86::Gpr;
 
@@ -59,9 +60,30 @@ pub fn run_kernel_observed(
     threads: usize,
     observer: Arc<dyn SearchObserver>,
 ) -> StokeResult {
+    run_kernel_instrumented(kernel, iterations, threads, observer, None, None)
+}
+
+/// Run STOKE on one kernel with optional observability attached: a
+/// metrics registry recording the `stoke_*` families and/or a structured
+/// trace sink. Both are passive — fixed-seed results are bit-identical
+/// with and without them.
+pub fn run_kernel_instrumented(
+    kernel: &Kernel,
+    iterations: u64,
+    threads: usize,
+    observer: Arc<dyn SearchObserver>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> StokeResult {
     let spec = spec_for(kernel);
-    Session::new(sweep_config(iterations, threads))
-        .with_observer(observer)
+    let mut session = Session::new(sweep_config(iterations, threads)).with_observer(observer);
+    if let Some(registry) = metrics {
+        session = session.with_metrics(registry);
+    }
+    if let Some(sink) = trace {
+        session = session.with_trace(sink);
+    }
+    session
         .run(&spec)
         .expect("kernel sweep targets are non-empty and the sweep config is valid")
 }

@@ -68,6 +68,29 @@ pub struct EvalStats {
     pub columns_reordered: u64,
 }
 
+impl EvalStats {
+    /// Field-wise difference `self - earlier` (saturating), for slicing a
+    /// cumulative cost-function counter into per-chain deltas.
+    pub fn since(&self, earlier: &EvalStats) -> EvalStats {
+        EvalStats {
+            testcases_run: self.testcases_run.saturating_sub(earlier.testcases_run),
+            evaluations: self.evaluations.saturating_sub(earlier.evaluations),
+            early_terminations: self
+                .early_terminations
+                .saturating_sub(earlier.early_terminations),
+            instructions_skipped: self
+                .instructions_skipped
+                .saturating_sub(earlier.instructions_skipped),
+            checkpoint_restores: self
+                .checkpoint_restores
+                .saturating_sub(earlier.checkpoint_restores),
+            columns_reordered: self
+                .columns_reordered
+                .saturating_sub(earlier.columns_reordered),
+        }
+    }
+}
+
 /// The `err(·)` term of Equation 11 for one execution's fault counters.
 pub(crate) fn err_term(config: &Config, faults: &Faults) -> u64 {
     config.wsf * faults.sigsegv + config.wfp * faults.sigfpe + config.wur * faults.undef

@@ -13,10 +13,14 @@
 
 use crate::config::Config;
 use crate::cost::CostFn;
+use crate::cost::EvalStats;
 use crate::error::StokeError;
-use crate::mcmc::{Chain, ChainResult, Rewrite};
-use crate::observer::{ChainProgress, NullObserver, Phase, SearchObserver};
+use crate::mcmc::{Chain, ChainResult, MoveStats, Rewrite};
+use crate::observer::{
+    ChainProgress, ChainStats, NullObserver, Phase, SearchObserver, TeeObserver,
+};
 use crate::search::{SearchStats, StokeResult, Verification};
+use crate::telemetry::MetricsObserver;
 use crate::testcase::{generate_testcases, TargetSpec, TestSuite};
 use crate::verifier::{
     Cascade, LeakageCheck, Symbolic, TestOnly, Verifier, VerifierSpec, VerifyContext, VerifyStatus,
@@ -25,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use stoke_emu::TimingModel;
+use stoke_obs::{MetricsRegistry, TraceSink};
 use stoke_x86::Program;
 
 static NULL_OBSERVER: NullObserver = NullObserver;
@@ -332,6 +337,24 @@ impl<'a> ChainControl<'a> {
                 .on_chain_progress(&make(self.target, self.phase, self.chain));
         }
     }
+
+    pub(crate) fn report_end(
+        &self,
+        proposals: u64,
+        accepted: u64,
+        moves: MoveStats,
+        eval: EvalStats,
+    ) {
+        self.observer.on_chain_end(&ChainStats {
+            target: self.target,
+            phase: self.phase,
+            chain: self.chain,
+            proposals,
+            accepted,
+            moves,
+            eval,
+        });
+    }
 }
 
 /// The session-based driver for the full STOKE pipeline (Figure 9).
@@ -370,6 +393,8 @@ pub struct Session {
     budget: Budget,
     observer: Option<Arc<dyn SearchObserver>>,
     verifier: Option<Arc<dyn Verifier>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Session {
@@ -382,6 +407,8 @@ impl Session {
             budget: Budget::unlimited(),
             observer: None,
             verifier: None,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -394,6 +421,30 @@ impl Session {
     /// Stream pipeline events to `observer`.
     pub fn with_observer(mut self, observer: Arc<dyn SearchObserver>) -> Session {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Record search metrics — per-phase wall time, proposals and
+    /// acceptances split by move kind, evaluation-backend work, validator
+    /// verdicts, search outcomes — into `registry`. The registry is shared:
+    /// several sessions (or a whole service) can feed one registry, and
+    /// callers export it with
+    /// [`snapshot()`](stoke_obs::MetricsRegistry::snapshot) or
+    /// [`render_text()`](stoke_obs::MetricsRegistry::render_text).
+    ///
+    /// Attaching metrics never changes search decisions: the instrumented
+    /// callbacks draw no randomness and feed nothing back into the chains.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Session {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Stream structured JSONL span/event records describing the run to
+    /// `sink` (see [`stoke_obs::JsonlSink`] /
+    /// [`stoke_obs::RingSink`]). Like metrics, tracing is passive and
+    /// cannot perturb the search.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Session {
+        self.trace = Some(sink);
         self
     }
 
@@ -444,7 +495,7 @@ impl Session {
     }
 
     fn progress_every(&self) -> u64 {
-        if self.observer.is_none() {
+        if self.observer.is_none() && self.metrics.is_none() && self.trace.is_none() {
             return 0;
         }
         // Aim for a handful of reports per chain without flooding slow
@@ -572,7 +623,19 @@ impl Session {
         if spec.program.is_empty() {
             return Err(StokeError::EmptyTarget);
         }
-        let observer = self.observer();
+        // When metrics or tracing are attached, fan callbacks out to both
+        // the caller's observer and a per-run telemetry adapter. Telemetry
+        // is strictly passive — it draws no randomness and feeds nothing
+        // back — so fixed-seed runs stay bit-identical with it attached.
+        let telemetry;
+        let tee;
+        let observer: &dyn SearchObserver = if self.metrics.is_some() || self.trace.is_some() {
+            telemetry = MetricsObserver::from_parts(self.metrics.clone(), self.trace.clone());
+            tee = TeeObserver::new(self.observer(), &telemetry);
+            &tee
+        } else {
+            self.observer()
+        };
         let suite = match suite {
             Some(suite) => suite,
             None => {
@@ -598,6 +661,13 @@ impl Session {
         match &mut out {
             Ok(result) => result.stats.total_time = elapsed,
             Err(StokeError::BudgetExhausted { partial }) => partial.stats.total_time = elapsed,
+            Err(_) => {}
+        }
+        // Announce the end of the run (complete or budget-exhausted) after
+        // the total time is stamped, so observers see final stats.
+        match &out {
+            Ok(result) => observer.on_search_end(target, result),
+            Err(StokeError::BudgetExhausted { partial }) => observer.on_search_end(target, partial),
             Err(_) => {}
         }
         out
@@ -698,6 +768,7 @@ impl TargetRun<'_> {
         for r in results {
             stats.synthesis_proposals += r.proposals;
             stats.testcases_run += r.testcases_run;
+            stats.moves.merge(&r.moves);
             if r.best_cost == 0.0 {
                 stats.synthesis_succeeded = true;
                 found.push(r.best.to_program());
@@ -754,6 +825,7 @@ impl TargetRun<'_> {
         for r in results {
             stats.optimization_proposals += r.proposals;
             stats.testcases_run += r.testcases_run;
+            stats.moves.merge(&r.moves);
             match r.best_correct {
                 Some(b) => candidates.push((b.to_program(), r.best_correct_cost)),
                 None => fallbacks.push((r.best.to_program(), r.best_cost)),

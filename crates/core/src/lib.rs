@@ -71,6 +71,7 @@ pub mod mcmc;
 pub mod model;
 pub mod observer;
 pub mod search;
+pub mod telemetry;
 pub mod testcase;
 pub mod verifier;
 
@@ -78,16 +79,19 @@ pub use config::{BackendSpec, Config, ConfigBuilder, EqMetric};
 pub use cost::{CaseCost, CostFn, EvalScratch, EvalStats};
 pub use driver::{Budget, BudgetClock, CancelToken, ChainControl, RunRequest, Session};
 pub use error::{ConfigError, StokeError};
-pub use mcmc::{Chain, ChainResult, EditSpan, MoveKind, Proposer, Rewrite, StopReason, TracePoint};
+pub use mcmc::{
+    Chain, ChainResult, EditSpan, MoveKind, MoveStats, Proposer, Rewrite, StopReason, TracePoint,
+};
 pub use model::{
     ConstantTimePenalty, CorrectnessOnly, Cost, CostModel, CostModelFactory, CostModelSpec,
     EvalContext, PaperCost, Weighted,
 };
 pub use observer::{
-    ChainProgress, CollectingObserver, NullObserver, Phase, SearchEvent, SearchObserver,
-    ValidationVerdict,
+    ChainProgress, ChainStats, CollectingObserver, NullObserver, Phase, SearchEvent,
+    SearchObserver, TeeObserver, ValidationVerdict,
 };
 pub use search::{SearchStats, StokeResult, Verification};
+pub use telemetry::MetricsObserver;
 pub use testcase::{generate_testcases, InputKind, InputSpec, TargetSpec, TestSuite, Testcase};
 pub use verifier::{
     Cascade, LeakageCheck, Symbolic, TestOnly, Verdict, Verifier, VerifierSpec, VerifyContext,

@@ -97,6 +97,82 @@ pub enum MoveKind {
     Instruction,
 }
 
+/// Per-move-kind proposal and acceptance counters — the MCMC mixing
+/// diagnostics of Figure 10. Recorded by every chain regardless of whether
+/// an observer is attached (pure counting; the accounting never touches the
+/// RNG stream, so enabling it cannot perturb the search).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    proposed: [u64; 4],
+    accepted: [u64; 4],
+}
+
+impl MoveStats {
+    /// The four move kinds in counter-index order.
+    pub const KINDS: [MoveKind; 4] = [
+        MoveKind::Opcode,
+        MoveKind::Operand,
+        MoveKind::Swap,
+        MoveKind::Instruction,
+    ];
+
+    fn idx(kind: MoveKind) -> usize {
+        match kind {
+            MoveKind::Opcode => 0,
+            MoveKind::Operand => 1,
+            MoveKind::Swap => 2,
+            MoveKind::Instruction => 3,
+        }
+    }
+
+    /// Count one proposal of `kind`, accepted or not.
+    pub fn record(&mut self, kind: MoveKind, accepted: bool) {
+        self.proposed[Self::idx(kind)] += 1;
+        if accepted {
+            self.accepted[Self::idx(kind)] += 1;
+        }
+    }
+
+    /// Proposals of `kind` evaluated.
+    pub fn proposed(&self, kind: MoveKind) -> u64 {
+        self.proposed[Self::idx(kind)]
+    }
+
+    /// Proposals of `kind` accepted.
+    pub fn accepted(&self, kind: MoveKind) -> u64 {
+        self.accepted[Self::idx(kind)]
+    }
+
+    /// Acceptance rate for `kind` (0.0 when no such move was proposed).
+    pub fn acceptance_rate(&self, kind: MoveKind) -> f64 {
+        let proposed = self.proposed(kind);
+        if proposed == 0 {
+            0.0
+        } else {
+            self.accepted(kind) as f64 / proposed as f64
+        }
+    }
+
+    /// Total proposals across all kinds.
+    pub fn total_proposed(&self) -> u64 {
+        self.proposed.iter().sum()
+    }
+
+    /// Total accepted proposals across all kinds.
+    pub fn total_accepted(&self) -> u64 {
+        self.accepted.iter().sum()
+    }
+
+    /// Add another chain's counters into this one (used by the driver to
+    /// aggregate per-chain stats into [`SearchStats`](crate::SearchStats)).
+    pub fn merge(&mut self, other: &MoveStats) {
+        for i in 0..4 {
+            self.proposed[i] += other.proposed[i];
+            self.accepted[i] += other.accepted[i];
+        }
+    }
+}
+
 /// The slot range a proposal modified, reported by [`Proposer::propose`]
 /// alongside the [`MoveKind`].
 ///
@@ -412,6 +488,8 @@ pub struct ChainResult {
     pub proposals: u64,
     /// Proposals accepted.
     pub accepted: u64,
+    /// Proposal and acceptance counts split by move kind.
+    pub moves: MoveStats,
     /// Evolution of the cost function (sampled sparsely).
     pub trace: Vec<TracePoint>,
     /// Test cases executed (for Figure 2 / Figure 5 style reporting).
@@ -516,9 +594,10 @@ impl<'a> Chain<'a> {
         };
         let mut accepted = 0u64;
         let mut proposals = 0u64;
+        let mut moves = MoveStats::default();
         let mut trace = Vec::new();
         let mut stop = StopReason::Completed;
-        let start_testcases = self.cost_fn.stats.testcases_run;
+        let start_stats = self.cost_fn.stats;
         // Commit the starting rewrite as the incremental backend's
         // checkpoint baseline (a no-op for every other backend).
         {
@@ -532,7 +611,7 @@ impl<'a> Chain<'a> {
                 break;
             }
             proposals += 1;
-            let (candidate, _kind, span) = self.proposer.propose(&current);
+            let (candidate, kind, span) = self.proposer.propose(&current);
             // Dense instructions the candidate provably shares with the
             // committed baseline: everything strictly before the first
             // modified slot (the whole program when the move was a no-op).
@@ -573,6 +652,7 @@ impl<'a> Chain<'a> {
                     None
                 }
             };
+            moves.record(kind, accept.is_some());
             if let Some(cost) = accept {
                 current = candidate;
                 current_terms = cost;
@@ -623,6 +703,12 @@ impl<'a> Chain<'a> {
                 break;
             }
         }
+        ctrl.report_end(
+            proposals,
+            accepted,
+            moves,
+            self.cost_fn.stats.since(&start_stats),
+        );
         ChainResult {
             best,
             best_cost,
@@ -631,8 +717,9 @@ impl<'a> Chain<'a> {
             last: current,
             proposals,
             accepted,
+            moves,
             trace,
-            testcases_run: self.cost_fn.stats.testcases_run - start_testcases,
+            testcases_run: self.cost_fn.stats.testcases_run - start_stats.testcases_run,
             stop,
         }
     }

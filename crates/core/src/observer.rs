@@ -4,6 +4,10 @@
 //! progress, candidates entering the re-rank stage, and validation
 //! verdicts — without blocking the search threads.
 
+use crate::cost::EvalStats;
+use crate::mcmc::MoveStats;
+use crate::search::StokeResult;
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use stoke_x86::Program;
 
@@ -57,6 +61,29 @@ pub struct ChainProgress {
     pub columns_reordered: u64,
 }
 
+/// Final accounting for one finished MCMC chain, reported through
+/// [`SearchObserver::on_chain_end`]. Unlike the periodic [`ChainProgress`]
+/// snapshots, the evaluation counters here are per-chain deltas rather than
+/// cumulative cost-function totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainStats {
+    /// Index of the target within the batch (`0` for single-target runs).
+    pub target: usize,
+    /// The pipeline phase the chain belonged to.
+    pub phase: Phase,
+    /// Index of the chain within its phase.
+    pub chain: usize,
+    /// Proposals the chain evaluated.
+    pub proposals: u64,
+    /// Proposals the chain accepted.
+    pub accepted: u64,
+    /// Proposal and acceptance counts split by move kind.
+    pub moves: MoveStats,
+    /// Evaluation-backend work this chain performed (test cases executed,
+    /// early terminations, checkpoint restores, ...).
+    pub eval: EvalStats,
+}
+
 /// The verdict of one symbolic validation query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValidationVerdict {
@@ -96,6 +123,67 @@ pub trait SearchObserver: Send + Sync {
     fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
         let _ = (target, verdict);
     }
+
+    /// One MCMC chain finished, with its final per-chain accounting.
+    fn on_chain_end(&self, stats: &ChainStats) {
+        let _ = stats;
+    }
+
+    /// The whole pipeline finished for `target`. Fired for complete runs
+    /// and for the partial result of a budget-exhausted run, after
+    /// [`SearchStats::total_time`](crate::SearchStats::total_time) is
+    /// stamped.
+    fn on_search_end(&self, target: usize, result: &StokeResult) {
+        let _ = (target, result);
+    }
+}
+
+/// Fans every callback out to two observers, in order. Used by the session
+/// driver to run a caller's observer alongside the metrics/trace adapter,
+/// and available to callers with the same need.
+pub struct TeeObserver<'a> {
+    first: &'a dyn SearchObserver,
+    second: &'a dyn SearchObserver,
+}
+
+impl<'a> TeeObserver<'a> {
+    /// Combine two observers; `first` receives every callback before
+    /// `second`.
+    pub fn new(first: &'a dyn SearchObserver, second: &'a dyn SearchObserver) -> TeeObserver<'a> {
+        TeeObserver { first, second }
+    }
+}
+
+impl SearchObserver for TeeObserver<'_> {
+    fn on_phase_start(&self, target: usize, phase: Phase) {
+        self.first.on_phase_start(target, phase);
+        self.second.on_phase_start(target, phase);
+    }
+
+    fn on_chain_progress(&self, progress: &ChainProgress) {
+        self.first.on_chain_progress(progress);
+        self.second.on_chain_progress(progress);
+    }
+
+    fn on_candidate(&self, target: usize, candidate: &Program, cost: f64) {
+        self.first.on_candidate(target, candidate, cost);
+        self.second.on_candidate(target, candidate, cost);
+    }
+
+    fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
+        self.first.on_validation(target, verdict);
+        self.second.on_validation(target, verdict);
+    }
+
+    fn on_chain_end(&self, stats: &ChainStats) {
+        self.first.on_chain_end(stats);
+        self.second.on_chain_end(stats);
+    }
+
+    fn on_search_end(&self, target: usize, result: &StokeResult) {
+        self.first.on_search_end(target, result);
+        self.second.on_search_end(target, result);
+    }
 }
 
 /// The do-nothing observer used when a session has no explicit observer.
@@ -132,10 +220,12 @@ pub enum SearchEvent {
         /// The validator's verdict.
         verdict: ValidationVerdict,
     },
+    /// `on_chain_end` fired.
+    ChainEnd(ChainStats),
 }
 
-/// An observer that records every event in order, for tests and for the
-/// `experiments` binary's per-phase progress reporting.
+/// An observer that records every event in order, for tests and for
+/// streaming progress out of long runs.
 ///
 /// The event log lives behind an internal `Arc`, so the collector is
 /// `Clone` and cheap to hand to each of a service's worker threads —
@@ -143,26 +233,67 @@ pub enum SearchEvent {
 /// in lock-acquisition order, which for a single job matches callback
 /// order; concurrent jobs interleave, and readers separate them by the
 /// `target` index carried on every event.
+///
+/// By default the log is unbounded. Long-running producers should use
+/// [`CollectingObserver::with_capacity`] to cap memory: once full, the
+/// oldest event is discarded per arrival and counted in
+/// [`CollectingObserver::dropped`].
 #[derive(Debug, Clone, Default)]
 pub struct CollectingObserver {
-    events: Arc<Mutex<Vec<SearchEvent>>>,
+    log: Arc<Mutex<EventLog>>,
+}
+
+#[derive(Debug, Default)]
+struct EventLog {
+    events: VecDeque<SearchEvent>,
+    /// Maximum retained events; 0 means unbounded.
+    capacity: usize,
+    dropped: u64,
 }
 
 impl CollectingObserver {
-    /// A fresh, empty collector.
+    /// A fresh, empty, unbounded collector.
     pub fn new() -> CollectingObserver {
         CollectingObserver::default()
     }
 
-    /// A snapshot of every event recorded so far, in arrival order.
-    pub fn events(&self) -> Vec<SearchEvent> {
-        self.events.lock().expect("observer lock").clone()
+    /// A collector retaining at most `capacity` events (min 1): when full,
+    /// each new event evicts the oldest and bumps the dropped counter.
+    pub fn with_capacity(capacity: usize) -> CollectingObserver {
+        CollectingObserver {
+            log: Arc::new(Mutex::new(EventLog {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
     }
 
-    /// Remove and return every recorded event (used by the `experiments`
-    /// binary to stream per-kernel progress between runs).
+    /// A snapshot of every retained event, in arrival order.
+    pub fn events(&self) -> Vec<SearchEvent> {
+        self.log
+            .lock()
+            .expect("observer lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Remove and return every retained event (used to stream progress
+    /// between runs without re-cloning an ever-growing log).
     pub fn drain(&self) -> Vec<SearchEvent> {
-        std::mem::take(&mut *self.events.lock().expect("observer lock"))
+        self.log
+            .lock()
+            .expect("observer lock")
+            .events
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of events discarded because the log was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.log.lock().expect("observer lock").dropped
     }
 
     /// The phase-start events only, in arrival order.
@@ -177,7 +308,12 @@ impl CollectingObserver {
     }
 
     fn push(&self, event: SearchEvent) {
-        self.events.lock().expect("observer lock").push(event);
+        let mut log = self.log.lock().expect("observer lock");
+        if log.capacity > 0 && log.events.len() == log.capacity {
+            log.events.pop_front();
+            log.dropped += 1;
+        }
+        log.events.push_back(event);
     }
 }
 
@@ -200,6 +336,10 @@ impl SearchObserver for CollectingObserver {
 
     fn on_validation(&self, target: usize, verdict: ValidationVerdict) {
         self.push(SearchEvent::Validation { target, verdict });
+    }
+
+    fn on_chain_end(&self, stats: &ChainStats) {
+        self.push(SearchEvent::ChainEnd(*stats));
     }
 }
 
@@ -286,6 +426,45 @@ mod tests {
             }
             assert_eq!(seen, 200);
         }
+    }
+
+    #[test]
+    fn capped_collector_drops_oldest_and_counts() {
+        let obs = CollectingObserver::with_capacity(3);
+        for i in 0..5usize {
+            obs.on_phase_start(i, Phase::Synthesis);
+        }
+        assert_eq!(obs.dropped(), 2);
+        let events = obs.events();
+        assert_eq!(events.len(), 3);
+        match &events[0] {
+            SearchEvent::PhaseStart { target, .. } => assert_eq!(*target, 2),
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Draining resets the retained log but keeps the dropped count.
+        assert_eq!(obs.drain().len(), 3);
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.dropped(), 2);
+    }
+
+    #[test]
+    fn tee_observer_forwards_to_both() {
+        let a = CollectingObserver::new();
+        let b = CollectingObserver::new();
+        let tee = TeeObserver::new(&a, &b);
+        tee.on_phase_start(0, Phase::Synthesis);
+        tee.on_validation(0, ValidationVerdict::Proven);
+        tee.on_chain_end(&ChainStats {
+            target: 0,
+            phase: Phase::Synthesis,
+            chain: 1,
+            proposals: 10,
+            accepted: 4,
+            moves: MoveStats::default(),
+            eval: EvalStats::default(),
+        });
+        assert_eq!(a.events().len(), 3);
+        assert_eq!(a.events(), b.events());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! to live here was removed after its one-release deprecation window; see
 //! `MIGRATION.md` at the repository root for the `Session` mapping.
 
+use crate::mcmc::MoveStats;
 use std::time::Duration;
 use stoke_x86::Program;
 
@@ -45,6 +46,13 @@ pub struct SearchStats {
     pub counterexamples: u64,
     /// Whether any synthesis chain reached a zero-cost rewrite.
     pub synthesis_succeeded: bool,
+    /// Proposal and acceptance counts split by move kind, aggregated over
+    /// every chain of both MCMC phases (the Figure 10 mixing diagnostics).
+    pub moves: MoveStats,
+    /// Candidates rejected by the relative-leakage gate (see
+    /// [`LeakageCheck`](crate::verifier::LeakageCheck)) before reaching the
+    /// symbolic validator.
+    pub leakage_rejections: u64,
     /// End-to-end wall-clock time of this target's trip through the
     /// pipeline (test-case generation through re-ranking), stamped by the
     /// driver on both complete and budget-exhausted results. Unlike

@@ -404,6 +404,7 @@ impl<V: Verifier> Verifier for LeakageCheck<V> {
                 &secrets,
             );
             if !new_leaks.is_empty() {
+                ctx.stats.leakage_rejections += 1;
                 return Verdict::refuted();
             }
         }

@@ -1,0 +1,629 @@
+//! A hand-rolled metrics registry with atomic counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! The design goal is an allocation-free hot path: registration (which
+//! allocates and takes a lock) happens once up front and hands back cheap
+//! cloneable handles; recording a sample afterwards is a handful of atomic
+//! operations. [`MetricsRegistry::snapshot`] produces an owned point-in-time
+//! copy for programmatic inspection and [`MetricsRegistry::render_text`]
+//! emits Prometheus-style text exposition.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter backed by an [`AtomicU64`].
+///
+/// Handles are cheap to clone; all clones observe the same underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment the counter by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move up and down, backed by an [`AtomicI64`].
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (possibly negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment the gauge by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement the gauge by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Read the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Sorted, finite upper bounds. The implicit final `+Inf` bucket lives at
+    /// `counts[bounds.len()]`.
+    bounds: Box<[f64]>,
+    /// Per-bucket observation counts (not cumulative).
+    counts: Box<[AtomicU64]>,
+    /// Total of all observed values, stored as `f64::to_bits`.
+    sum_bits: AtomicU64,
+    /// Total number of observations.
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram.
+///
+/// Bucket semantics follow Prometheus: an observation `v` lands in the first
+/// bucket whose upper bound satisfies `v <= bound`, with an implicit `+Inf`
+/// bucket catching everything beyond the largest bound.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation. Lock- and allocation-free.
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // CAS loop to accumulate an f64 sum in an AtomicU64 bit cell.
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        core.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Build `count` exponentially spaced histogram bounds starting at `start`
+/// and multiplying by `factor` at each step.
+///
+/// ```
+/// let b = stoke_obs::exponential_buckets(0.001, 10.0, 4);
+/// assert_eq!(b.len(), 4);
+/// assert!((b[2] - 0.1).abs() < 1e-12);
+/// ```
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0, "need start > 0 and factor > 1");
+    let mut out = Vec::with_capacity(count);
+    let mut v = start;
+    for _ in 0..count {
+        out.push(v);
+        v *= factor;
+    }
+    out
+}
+
+/// Identifies one registered metric: a family name plus a rendered label set.
+///
+/// `labels` holds the inner `key="value"` list without braces (empty when the
+/// metric has no labels) so histogram exposition can splice in `le`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    family: String,
+    labels: String,
+}
+
+impl Key {
+    fn new(family: &str, labels: &[(&str, &str)]) -> Key {
+        let mut rendered = String::new();
+        for (i, (k, v)) in labels.iter().enumerate() {
+            debug_assert!(
+                !k.contains('"') && !v.contains('"') && !v.contains('\\'),
+                "label keys/values must not contain quotes or backslashes"
+            );
+            if i > 0 {
+                rendered.push(',');
+            }
+            let _ = write!(rendered, "{k}=\"{v}\"");
+        }
+        Key {
+            family: family.to_string(),
+            labels: rendered,
+        }
+    }
+
+    fn full_name(&self) -> String {
+        if self.labels.is_empty() {
+            self.family.clone()
+        } else {
+            format!("{}{{{}}}", self.family, self.labels)
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<Key, Counter>,
+    gauges: BTreeMap<Key, Gauge>,
+    histograms: BTreeMap<Key, Histogram>,
+    /// Family name -> metric type, used to reject cross-type re-registration.
+    families: BTreeMap<String, &'static str>,
+}
+
+impl RegistryInner {
+    fn claim_family(&mut self, family: &str, ty: &'static str) {
+        match self.families.get(family) {
+            Some(prev) if *prev != ty => panic!(
+                "metric family `{family}` already registered as a {prev}, cannot re-register as a {ty}"
+            ),
+            Some(_) => {}
+            None => {
+                self.families.insert(family.to_string(), ty);
+            }
+        }
+    }
+}
+
+/// One counter sample in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Full metric name including any label set, e.g. `moves_total{kind="swap"}`.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge sample in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Full metric name including any label set.
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: i64,
+}
+
+/// One cumulative histogram bucket in a [`HistogramSample`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper bound of this bucket (`f64::INFINITY` for the last).
+    pub le: f64,
+    /// Number of observations `<= le` (cumulative, Prometheus-style).
+    pub cumulative: u64,
+}
+
+/// One histogram sample in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSample {
+    /// Full metric name including any label set.
+    pub name: String,
+    /// Cumulative bucket counts, ending with the `+Inf` bucket.
+    pub buckets: Vec<Bucket>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+/// A point-in-time copy of every metric in a [`MetricsRegistry`], sorted by
+/// name for deterministic iteration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSample>,
+    /// All registered gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Look up a counter value by its full name. Returns 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Look up a gauge value by its full name. Returns 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map_or(0, |g| g.value)
+    }
+
+    /// Look up a histogram sample by its full name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration takes a lock and allocates; it is meant to run once during
+/// setup. The returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are then
+/// updated with plain atomic operations — no locks, no allocation.
+/// Registering the same family + label set twice returns a handle to the
+/// same underlying cell (for histograms, the first registration's bounds
+/// win). Registering one family under two different metric types panics.
+///
+/// ```
+/// use stoke_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let accepted = registry.counter_with("moves_total", &[("kind", "swap")]);
+/// accepted.add(3);
+/// let text = registry.render_text();
+/// assert!(text.contains("# TYPE moves_total counter"));
+/// assert!(text.contains("moves_total{kind=\"swap\"} 3"));
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) an unlabelled counter.
+    pub fn counter(&self, family: &str) -> Counter {
+        self.counter_with(family, &[])
+    }
+
+    /// Register (or look up) a counter with a label set.
+    pub fn counter_with(&self, family: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.claim_family(family, "counter");
+        inner
+            .counters
+            .entry(Key::new(family, labels))
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Register (or look up) an unlabelled gauge.
+    pub fn gauge(&self, family: &str) -> Gauge {
+        self.gauge_with(family, &[])
+    }
+
+    /// Register (or look up) a gauge with a label set.
+    pub fn gauge_with(&self, family: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.claim_family(family, "gauge");
+        inner
+            .gauges
+            .entry(Key::new(family, labels))
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Register (or look up) an unlabelled histogram with the given finite
+    /// upper bounds. Bounds are sorted and deduplicated; non-finite entries
+    /// are dropped. An implicit `+Inf` bucket is always appended.
+    pub fn histogram(&self, family: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(family, &[], bounds)
+    }
+
+    /// Register (or look up) a histogram with a label set.
+    pub fn histogram_with(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner.claim_family(family, "histogram");
+        inner
+            .histograms
+            .entry(Key::new(family, labels))
+            .or_insert_with(|| {
+                let mut bounds: Vec<f64> =
+                    bounds.iter().copied().filter(|b| b.is_finite()).collect();
+                bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                bounds.dedup();
+                let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+                Histogram(Arc::new(HistogramCore {
+                    bounds: bounds.into_boxed_slice(),
+                    counts,
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                    total: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Take a point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, c)| CounterSample {
+                name: k.full_name(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, g)| GaugeSample {
+                name: k.full_name(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let core = &h.0;
+                let mut cumulative = 0u64;
+                let mut buckets = Vec::with_capacity(core.bounds.len() + 1);
+                for (i, count) in core.counts.iter().enumerate() {
+                    cumulative += count.load(Ordering::Relaxed);
+                    let le = core.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    buckets.push(Bucket { le, cumulative });
+                }
+                HistogramSample {
+                    name: k.full_name(),
+                    buckets,
+                    count: h.count(),
+                    sum: h.sum(),
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Render every metric in Prometheus text exposition format: a `# TYPE`
+    /// line per family followed by one sample line per metric, histograms
+    /// expanded into cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`.
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (key, counter) in &inner.counters {
+            if key.family != last_family {
+                let _ = writeln!(out, "# TYPE {} counter", key.family);
+                last_family.clone_from(&key.family);
+            }
+            let _ = writeln!(out, "{} {}", key.full_name(), counter.get());
+        }
+        last_family.clear();
+        for (key, gauge) in &inner.gauges {
+            if key.family != last_family {
+                let _ = writeln!(out, "# TYPE {} gauge", key.family);
+                last_family.clone_from(&key.family);
+            }
+            let _ = writeln!(out, "{} {}", key.full_name(), gauge.get());
+        }
+        last_family.clear();
+        for (key, hist) in &inner.histograms {
+            if key.family != last_family {
+                let _ = writeln!(out, "# TYPE {} histogram", key.family);
+                last_family.clone_from(&key.family);
+            }
+            let core = &hist.0;
+            let mut cumulative = 0u64;
+            for (i, count) in core.counts.iter().enumerate() {
+                cumulative += count.load(Ordering::Relaxed);
+                let le = match core.bounds.get(i) {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                let labels = if key.labels.is_empty() {
+                    format!("le=\"{le}\"")
+                } else {
+                    format!("{},le=\"{le}\"", key.labels)
+                };
+                let _ = writeln!(out, "{}_bucket{{{labels}}} {cumulative}", key.family);
+            }
+            let suffix = if key.labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", key.labels)
+            };
+            let _ = writeln!(out, "{}_sum{suffix} {}", key.family, hist.sum());
+            let _ = writeln!(out, "{}_count{suffix} {}", key.family, hist.count());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_sum_exactly_under_threaded_hammering() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("hammered_total");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(registry.snapshot().counter("hammered_total"), 80_000);
+    }
+
+    #[test]
+    fn histogram_concurrent_observations_count_exactly() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("latency_seconds", &[0.5, 1.0]);
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let hist = hist.clone();
+                thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        hist.observe(0.25 * (i + 1) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hist.count(), 20_000);
+        // Sum is exact: each thread adds 5000 * 0.25 * (i+1); all terms are
+        // representable in binary so the CAS accumulation has no rounding.
+        let expected: f64 = (1..=4).map(|i| 5_000.0 * 0.25 * i as f64).sum();
+        assert!((hist.sum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("bounds_seconds", &[1.0, 2.0, 4.0]);
+        // Exactly on a bound lands in that bound's bucket (v <= le).
+        hist.observe(1.0);
+        hist.observe(2.0);
+        hist.observe(2.0000001);
+        hist.observe(100.0); // +Inf bucket
+        let snap = registry.snapshot();
+        let sample = snap.histogram("bounds_seconds").unwrap();
+        let cumulative: Vec<u64> = sample.buckets.iter().map(|b| b.cumulative).collect();
+        assert_eq!(cumulative, vec![1, 2, 3, 4]);
+        assert_eq!(sample.buckets[3].le, f64::INFINITY);
+        assert_eq!(sample.count, 4);
+    }
+
+    #[test]
+    fn reregistration_returns_same_cell() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("dup_total", &[("k", "v")]);
+        let b = registry.counter_with("dup_total", &[("k", "v")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        // A different label set is a different cell in the same family.
+        let c = registry.counter_with("dup_total", &[("k", "other")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn cross_type_registration_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("conflict");
+        registry.gauge("conflict");
+    }
+
+    #[test]
+    fn gauge_moves_both_directions() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("queue_depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-5);
+        assert_eq!(registry.snapshot().gauge("queue_depth"), -5);
+    }
+
+    #[test]
+    fn render_text_exposition_format() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("m_total", &[("kind", "a")]).add(1);
+        registry.counter_with("m_total", &[("kind", "b")]).add(2);
+        registry.gauge("depth").set(7);
+        let h = registry.histogram("dur_seconds", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        let text = registry.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // One TYPE line per family, samples sorted by label set.
+        assert_eq!(
+            lines,
+            vec![
+                "# TYPE m_total counter",
+                "m_total{kind=\"a\"} 1",
+                "m_total{kind=\"b\"} 2",
+                "# TYPE depth gauge",
+                "depth 7",
+                "# TYPE dur_seconds histogram",
+                "dur_seconds_bucket{le=\"0.1\"} 1",
+                "dur_seconds_bucket{le=\"1\"} 2",
+                "dur_seconds_bucket{le=\"+Inf\"} 2",
+                "dur_seconds_sum 0.55",
+                "dur_seconds_count 2",
+            ]
+        );
+    }
+
+    #[test]
+    fn exponential_buckets_grow_by_factor() {
+        let b = exponential_buckets(0.5, 2.0, 3);
+        assert_eq!(b, vec![0.5, 1.0, 2.0]);
+    }
+}

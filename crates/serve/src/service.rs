@@ -18,6 +18,7 @@ use stoke::{
     Session, StokeError, StokeResult, TargetSpec, ValidationVerdict, Verifier,
 };
 use stoke_emu::TimingModel;
+use stoke_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceRecord, TraceSink, Value};
 use stoke_x86::Program;
 
 /// Identifier of a submitted job, unique within one [`Service`].
@@ -274,6 +275,14 @@ pub struct ServeConfig {
     /// Verifier for every job's re-rank stage (`None` = the session
     /// default cascade). Its name is part of the pipeline fingerprint.
     pub verifier: Option<Arc<dyn Verifier>>,
+    /// Optional metrics registry. When set, the service records queue
+    /// depth, job latency histograms, and cache hit/miss/warm-start
+    /// counters under the `stoke_serve_*` families, and every job's
+    /// session records its search metrics into the same registry.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional structured trace sink receiving job lifecycle events and
+    /// every job session's span/event records.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ServeConfig {
@@ -290,6 +299,44 @@ impl ServeConfig {
             warm_start_max_distance: 2,
             cache_path: None,
             verifier: None,
+            metrics: None,
+            trace: None,
+        }
+    }
+}
+
+/// Pre-registered serve-layer metric handles (see
+/// [`ServeConfig::metrics`]); all updates after registration are single
+/// atomic operations.
+struct ServeMetrics {
+    queue_depth: Gauge,
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    warm_starts: Counter,
+    cold_searches: Counter,
+    queue_seconds: Histogram,
+    run_seconds: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> ServeMetrics {
+        let latency_bounds = [0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+        ServeMetrics {
+            queue_depth: registry.gauge("stoke_serve_queue_depth"),
+            submitted: registry.counter("stoke_serve_jobs_submitted_total"),
+            completed: registry.counter("stoke_serve_jobs_completed_total"),
+            failed: registry.counter("stoke_serve_jobs_failed_total"),
+            cancelled: registry.counter("stoke_serve_jobs_cancelled_total"),
+            cache_hits: registry.counter("stoke_serve_cache_hits_total"),
+            cache_misses: registry.counter("stoke_serve_cache_misses_total"),
+            warm_starts: registry.counter("stoke_serve_warm_starts_total"),
+            cold_searches: registry.counter("stoke_serve_cold_searches_total"),
+            queue_seconds: registry.histogram("stoke_serve_queue_seconds", &latency_bounds),
+            run_seconds: registry.histogram("stoke_serve_run_seconds", &latency_bounds),
         }
     }
 }
@@ -352,12 +399,25 @@ struct Shared {
     batch_clock: Arc<BudgetClock>,
     cache: Mutex<RewriteCache>,
     subscribers: Mutex<Vec<Sender<JobEvent>>>,
+    registry: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<ServeMetrics>,
 }
 
 impl Shared {
     fn emit(&self, event: JobEvent) {
         let mut subs = self.subscribers.lock().expect("subscriber lock");
         subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    fn trace_event(&self, name: &str, job: JobId, fields: Vec<(String, Value)>) {
+        if let Some(sink) = &self.trace {
+            sink.record(TraceRecord::Event {
+                name: name.to_string(),
+                target: job.value(),
+                fields,
+            });
+        }
     }
 }
 
@@ -470,6 +530,9 @@ impl Service {
             batch_clock: Arc::new(BudgetClock::start(&config.batch_budget)),
             cache: Mutex::new(cache),
             subscribers: Mutex::new(Vec::new()),
+            metrics: config.metrics.as_deref().map(ServeMetrics::new),
+            registry: config.metrics,
+            trace: config.trace,
             config: config.search,
         });
         let workers = (0..config.workers.max(1))
@@ -525,6 +588,18 @@ impl Service {
             self.shared.work.notify_one();
             (id, options.priority)
         };
+        if let Some(m) = &self.shared.metrics {
+            m.submitted.inc();
+            m.queue_depth.inc();
+        }
+        self.shared.trace_event(
+            "job_submitted",
+            id,
+            vec![(
+                "priority".to_string(),
+                Value::Str(format!("{priority:?}").to_ascii_lowercase()),
+            )],
+        );
         self.shared.emit(JobEvent::Submitted { job: id, priority });
         id
     }
@@ -583,6 +658,13 @@ impl Service {
             }
         };
         if cancelled {
+            // The heap entry is left in place (a worker skips it on
+            // pickup), so the queue-depth gauge is untouched here: it
+            // tracks heap occupancy and drops when the entry is popped.
+            if let Some(m) = &self.shared.metrics {
+                m.cancelled.inc();
+            }
+            self.shared.trace_event("job_cancelled", job, Vec::new());
             self.shared.emit(JobEvent::Cancelled { job });
         }
         true
@@ -637,6 +719,9 @@ impl Service {
                 q.shutdown = true;
                 let mut withdrawn = Vec::new();
                 while let Some(job) = q.pending.pop() {
+                    if let Some(m) = &self.shared.metrics {
+                        m.queue_depth.dec();
+                    }
                     if let Some(record) = q.jobs.get_mut(&job.id) {
                         if record.status == JobStatus::Queued {
                             record.status = JobStatus::Cancelled;
@@ -651,6 +736,10 @@ impl Service {
         self.shared.work.notify_all();
         self.shared.done.notify_all();
         for job in withdrawn {
+            if let Some(m) = &self.shared.metrics {
+                m.cancelled.inc();
+            }
+            self.shared.trace_event("job_cancelled", job, Vec::new());
             self.shared.emit(JobEvent::Cancelled { job });
         }
         for handle in std::mem::take(&mut self.workers) {
@@ -700,6 +789,11 @@ fn run_job(shared: &Arc<Shared>, job: PendingJob) {
         submitted,
         ..
     } = job;
+    // Popped off the heap: the queue-depth gauge drops whether the job
+    // runs or was cancelled while queued.
+    if let Some(m) = &shared.metrics {
+        m.queue_depth.dec();
+    }
     // Jobs cancelled while queued are skipped (the cancel call already
     // marked the record and emitted the event).
     {
@@ -711,6 +805,14 @@ fn run_job(shared: &Arc<Shared>, job: PendingJob) {
         record.status = JobStatus::Running;
     }
     let queue_time = submitted.elapsed();
+    shared.trace_event(
+        "job_started",
+        id,
+        vec![(
+            "queue_us".to_string(),
+            Value::U64(queue_time.as_micros() as u64),
+        )],
+    );
     shared.emit(JobEvent::Started { job: id });
     let started = Instant::now();
 
@@ -740,6 +842,9 @@ fn run_job(shared: &Arc<Shared>, job: PendingJob) {
             started.elapsed(),
         );
         return;
+    }
+    if let Some(m) = &shared.metrics {
+        m.cache_misses.inc();
     }
 
     // 2. Near miss: seed synthesis from the closest cached rewrite.
@@ -772,6 +877,12 @@ fn run_job(shared: &Arc<Shared>, job: PendingJob) {
     }));
     if let Some(verifier) = &shared.verifier {
         session = session.with_verifier(verifier.clone());
+    }
+    if let Some(registry) = &shared.registry {
+        session = session.with_metrics(registry.clone());
+    }
+    if let Some(sink) = &shared.trace {
+        session = session.with_trace(sink.clone());
     }
     let clock = BudgetClock::start_with_parent(&budget, shared.batch_clock.clone());
     let mut request = RunRequest::new()
@@ -839,6 +950,47 @@ fn complete(
         });
         shared.done.notify_all();
     }
+    if let Some(m) = &shared.metrics {
+        if failed {
+            m.failed.inc();
+        } else {
+            m.completed.inc();
+        }
+        match disposition {
+            Disposition::CacheHit => m.cache_hits.inc(),
+            Disposition::WarmStart { .. } => m.warm_starts.inc(),
+            Disposition::ColdSearch => m.cold_searches.inc(),
+        }
+        m.queue_seconds.observe(queue_time.as_secs_f64());
+        m.run_seconds.observe(run_time.as_secs_f64());
+    }
+    let disposition_name = match disposition {
+        Disposition::CacheHit => "cache_hit",
+        Disposition::WarmStart { .. } => "warm_start",
+        Disposition::ColdSearch => "cold_search",
+    };
+    shared.trace_event(
+        if failed {
+            "job_failed"
+        } else {
+            "job_completed"
+        },
+        id,
+        vec![
+            (
+                "disposition".to_string(),
+                Value::Str(disposition_name.to_string()),
+            ),
+            (
+                "queue_us".to_string(),
+                Value::U64(queue_time.as_micros() as u64),
+            ),
+            (
+                "run_us".to_string(),
+                Value::U64(run_time.as_micros() as u64),
+            ),
+        ],
+    );
     shared.emit(if failed {
         JobEvent::Failed { job: id }
     } else {

@@ -340,3 +340,59 @@ fn cache_persists_across_service_restarts() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn metrics_and_trace_cover_the_job_lifecycle() {
+    use std::sync::Arc;
+    use stoke_obs::{MetricsRegistry, RingSink, TraceRecord};
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let ring = Arc::new(RingSink::new(4096));
+    let mut config = ServeConfig::new(quick_config());
+    config.metrics = Some(registry.clone());
+    config.trace = Some(ring.clone());
+    let service = Service::start(config).unwrap();
+
+    let first = service.submit(clumsy_add());
+    assert!(service.wait(first).unwrap().result.is_ok());
+    let second = service.submit(clumsy_add());
+    let outcome = service.wait(second).unwrap();
+    assert_eq!(outcome.disposition, Disposition::CacheHit);
+    service.shutdown().unwrap();
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("stoke_serve_jobs_submitted_total"), 2);
+    assert_eq!(snap.counter("stoke_serve_jobs_completed_total"), 2);
+    assert_eq!(snap.counter("stoke_serve_jobs_failed_total"), 0);
+    assert_eq!(snap.counter("stoke_serve_cache_hits_total"), 1);
+    assert_eq!(snap.counter("stoke_serve_cache_misses_total"), 1);
+    assert_eq!(snap.counter("stoke_serve_cold_searches_total"), 1);
+    // Both jobs left the queue: the depth gauge must be back to zero.
+    assert_eq!(snap.gauge("stoke_serve_queue_depth"), 0);
+    let run = snap.histogram("stoke_serve_run_seconds").unwrap();
+    assert_eq!(run.count, 2);
+    // The cold search's session recorded into the same registry.
+    assert!(snap.counter(r#"stoke_proposals_total{phase="synthesis"}"#) > 0);
+    let searches: u64 = ["proven", "tests_only", "target_returned"]
+        .iter()
+        .map(|v| snap.counter(&format!(r#"stoke_searches_total{{verification="{v}"}}"#)))
+        .sum();
+    assert_eq!(searches, 1, "exactly the one cold search finished");
+
+    // The trace captured the serve-level lifecycle events.
+    let names: Vec<String> = ring
+        .records()
+        .into_iter()
+        .filter_map(|(_, r)| match r {
+            TraceRecord::Event { name, .. } => Some(name),
+            _ => None,
+        })
+        .collect();
+    for expected in ["job_submitted", "job_started", "job_completed"] {
+        assert!(
+            names.iter().filter(|n| n.as_str() == expected).count() >= 2,
+            "expected two {expected} events, got {names:?}"
+        );
+    }
+    assert_eq!(ring.dropped(), 0);
+}

@@ -2,18 +2,35 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace /tmp/quickstart.jsonl \
+//!     --metrics /tmp/quickstart.prom
 //! ```
 //!
 //! A deliberately clumsy computation of `rax = (rdi + rsi) * 2` (the kind
 //! of code `llvm -O0` emits) is handed to a STOKE [`Session`], which
 //! searches for a shorter equivalent under a wall-clock budget, verifies
-//! it, and reports the estimated speedup.
+//! it, and reports the estimated speedup. With `--trace` the session
+//! writes a structured JSONL trace; with `--metrics` it dumps the final
+//! Prometheus-style exposition text.
 
+use std::sync::Arc;
 use std::time::Duration;
 use stoke::{Budget, Config, Session, StokeError, TargetSpec};
+use stoke_obs::{JsonlSink, MetricsRegistry};
 use stoke_x86::{Gpr, Program};
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace takes a path")),
+            "--metrics" => metrics_path = Some(args.next().expect("--metrics takes a path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
     // The target: what an unoptimizing compiler might produce.
     let target: Program = "
         movq rdi, -8(rsp)
@@ -51,8 +68,21 @@ fn main() {
     // demonstrates the shape: the MCMC phases (where virtually all the
     // time goes) cannot overrun the deadline. Only the final symbolic
     // validation of the few surviving candidates runs unpreempted.
-    let session = Session::new(config)
+    let mut session = Session::new(config)
         .with_budget(Budget::unlimited().with_wall_clock(Duration::from_secs(120)));
+    // Observability is opt-in and passive: attaching a registry or trace
+    // sink records the search without changing a single decision.
+    let registry = metrics_path
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    if let Some(registry) = &registry {
+        session = session.with_metrics(registry.clone());
+    }
+    if let Some(path) = &trace_path {
+        let sink =
+            JsonlSink::create(std::path::Path::new(path), "quickstart").expect("trace file opens");
+        session = session.with_trace(Arc::new(sink));
+    }
     let result = match session.run(&spec) {
         Ok(result) => result,
         Err(StokeError::BudgetExhausted { partial }) => {
@@ -71,9 +101,36 @@ fn main() {
     println!("\nverification: {:?}", result.verification);
     println!("estimated speedup: {:.2}x", result.speedup());
     println!(
-        "search: {} synthesis proposals, {} optimization proposals, {} testcase evaluations",
+        "search: {} proposals total ({} synthesis + {} optimization), {} testcase evaluations",
+        result.stats.total_proposals(),
         result.stats.synthesis_proposals,
         result.stats.optimization_proposals,
         result.stats.testcases_run
     );
+    println!(
+        "time: {:.2}s total ({:.2}s synthesis, {:.2}s optimization)",
+        result.stats.total_time.as_secs_f64(),
+        result.stats.synthesis_time.as_secs_f64(),
+        result.stats.optimization_time.as_secs_f64()
+    );
+    let moves = &result.stats.moves;
+    println!("acceptance by move kind:");
+    for kind in stoke::MoveStats::KINDS {
+        println!(
+            "  {:<12} {:>8} proposed, {:>8} accepted ({:.1}%)",
+            format!("{kind:?}").to_lowercase(),
+            moves.proposed(kind),
+            moves.accepted(kind),
+            100.0 * moves.acceptance_rate(kind)
+        );
+    }
+
+    if let Some(path) = &metrics_path {
+        let registry = registry.expect("registry exists when --metrics is set");
+        std::fs::write(path, registry.render_text()).expect("metrics file writes");
+        println!("metrics exposition written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        println!("structured trace written to {path}");
+    }
 }

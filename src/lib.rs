@@ -3,6 +3,7 @@ pub use stoke;
 pub use stoke_analysis as analysis;
 pub use stoke_emu as emu;
 pub use stoke_ir as ir;
+pub use stoke_obs as obs;
 pub use stoke_serve as serve;
 pub use stoke_solver as solver;
 pub use stoke_verify as verify;
